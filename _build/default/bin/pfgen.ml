@@ -1,0 +1,234 @@
+(* pfgen — command-line front end of the code-generation pipeline.
+
+   Mirrors how the paper's toolchain is driven: pick a model instance,
+   generate optimized kernels, emit C/CUDA, query the performance model, or
+   run a simulation.
+
+     pfgen gen-c --model p1 -o kernels.c
+     pfgen gen-cuda --model p2 --approx
+     pfgen table1 --model p1
+     pfgen perf --model p1 --cores 24
+     pfgen simulate --model curvature --size 64 --steps 200
+     pfgen registers --model p1 *)
+
+open Cmdliner
+
+let model_conv =
+  let parse = function
+    | "p1" -> Ok (Pfcore.Params.p1 ())
+    | "p2" -> Ok (Pfcore.Params.p2 ())
+    | "p2-2d" -> Ok (Pfcore.Params.p2 ~dim:2 ())
+    | "curvature" -> Ok (Pfcore.Params.curvature ~dim:2 ())
+    | "curvature-3d" -> Ok (Pfcore.Params.curvature ~dim:3 ())
+    | s -> Error (`Msg ("unknown model " ^ s ^ " (p1, p2, p2-2d, curvature, curvature-3d)"))
+  in
+  let print ppf (p : Pfcore.Params.t) = Fmt.string ppf p.Pfcore.Params.name in
+  Arg.conv (parse, print)
+
+let model_arg =
+  Arg.(value & opt model_conv (Pfcore.Params.p1 ()) & info [ "model"; "m" ] ~doc:"Model instance: p1, p2, p2-2d, curvature, curvature-3d.")
+
+let symbolic_arg =
+  Arg.(value & flag & info [ "symbolic" ] ~doc:"Keep material parameters as runtime kernel arguments instead of freezing them at generation time.")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file (stdout if omitted).")
+
+let generate params symbolic =
+  let opts = { Pfcore.Genkernels.default_options with symbolic_params = symbolic } in
+  Pfcore.Genkernels.generate ~opts params
+
+let kernels_of (g : Pfcore.Genkernels.t) =
+  [ g.phi_full; g.phi_split.Pfcore.Genkernels.stag; g.phi_split.Pfcore.Genkernels.main ]
+  @ (match g.mu_full with Some k -> [ k ] | None -> [])
+  @ (match g.mu_split with
+    | Some p -> [ p.Pfcore.Genkernels.stag; p.Pfcore.Genkernels.main ]
+    | None -> [])
+  @ [ g.projection ]
+
+let write output text =
+  match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Fmt.pr "wrote %s (%d bytes)@." path (String.length text)
+
+(* ---- gen-c ---- *)
+
+let gen_c params symbolic simd output =
+  let g = generate params symbolic in
+  let lowered = List.map Ir.Lower.run (kernels_of g) in
+  let text =
+    match simd with
+    | None -> Backend.Ccode.translation_unit lowered
+    | Some "avx512" -> Backend.Simd.translation_unit ~isa:Backend.Simd.AVX512 lowered
+    | Some "avx2" -> Backend.Simd.translation_unit ~isa:Backend.Simd.AVX2 lowered
+    | Some "sse2" -> Backend.Simd.translation_unit ~isa:Backend.Simd.SSE2 lowered
+    | Some other -> failwith ("unknown ISA " ^ other)
+  in
+  write output text
+
+let simd_arg =
+  Arg.(value & opt (some string) None & info [ "simd" ] ~doc:"Vectorize with intrinsics: avx512, avx2 or sse2 (default: scalar OpenMP C).")
+
+let gen_c_cmd =
+  Cmd.v
+    (Cmd.info "gen-c" ~doc:"Emit the generated C kernels (OpenMP, optionally SIMD intrinsics).")
+    Term.(const gen_c $ model_arg $ symbolic_arg $ simd_arg $ output_arg)
+
+(* ---- gen-cuda ---- *)
+
+let gen_cuda params symbolic approx fence output =
+  let g = generate params symbolic in
+  let approx =
+    if approx then { Backend.Cexpr.fast_div = true; fast_rsqrt = true } else Backend.Cexpr.exact
+  in
+  write output (Backend.Cuda.translation_unit ~approx ?fence_stride:fence (kernels_of g))
+
+let approx_arg =
+  Arg.(value & flag & info [ "approx" ] ~doc:"Use approximate division and reciprocal square roots (fdividef/frsqrt).")
+
+let fence_arg =
+  Arg.(value & opt (some int) None & info [ "fence" ] ~doc:"Insert __threadfence_block() every N statements.")
+
+let gen_cuda_cmd =
+  Cmd.v
+    (Cmd.info "gen-cuda" ~doc:"Emit the generated CUDA kernels.")
+    Term.(const gen_cuda $ model_arg $ symbolic_arg $ approx_arg $ fence_arg $ output_arg)
+
+(* ---- table1 ---- *)
+
+let table1 params symbolic =
+  let g = generate params symbolic in
+  let show name k =
+    Fmt.pr "%-14s %a@." name Field.Opcount.pp (Pfcore.Genkernels.counts k)
+  in
+  show "phi-full" g.phi_full;
+  show "phi-split/stag" g.phi_split.Pfcore.Genkernels.stag;
+  show "phi-split/main" g.phi_split.Pfcore.Genkernels.main;
+  (match g.mu_full with Some k -> show "mu-full" k | None -> ());
+  (match g.mu_split with
+  | Some p ->
+    show "mu-split/stag" p.Pfcore.Genkernels.stag;
+    show "mu-split/main" p.Pfcore.Genkernels.main
+  | None -> ());
+  Fmt.pr "@.stencils: phi reads phi %s"
+    (Ir.Kernel.stencil_signature g.phi_full g.Pfcore.Genkernels.fields.Pfcore.Model.phi_src);
+  (match g.mu_full with
+  | Some mu ->
+    Fmt.pr ", mu reads phi %s, mu %s"
+      (Ir.Kernel.stencil_signature mu g.Pfcore.Genkernels.fields.Pfcore.Model.phi_src)
+      (Ir.Kernel.stencil_signature mu g.Pfcore.Genkernels.fields.Pfcore.Model.mu_src)
+  | None -> ());
+  Fmt.pr "@."
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print per-cell operation counts of all kernel variants (paper Table 1).")
+    Term.(const table1 $ model_arg $ symbolic_arg)
+
+(* ---- perf ---- *)
+
+let perf params cores block_n =
+  let g = generate params false in
+  let m = Perfmodel.Machine.skylake_8174 in
+  let report k =
+    let p = Perfmodel.Ecm.predict m k ~block_n in
+    Fmt.pr "%-14s %a@." k.Ir.Kernel.name Perfmodel.Ecm.pp p;
+    Fmt.pr "%-14s 1 core: %.1f MLUP/s; %d cores: %.1f MLUP/s; saturates at %d cores@." ""
+      (Perfmodel.Ecm.single_core_mlups m p)
+      cores
+      (Perfmodel.Ecm.multicore_mlups m p ~cores)
+      (Perfmodel.Ecm.saturation_cores m p)
+  in
+  List.iter report (kernels_of g);
+  Fmt.pr "@.%a@." Perfmodel.Layercond.pp_report (g.phi_full, m.Perfmodel.Machine.l2_bytes)
+
+let cores_arg = Arg.(value & opt int 24 & info [ "cores" ] ~doc:"Active cores per socket.")
+let block_arg = Arg.(value & opt int 60 & info [ "block" ] ~doc:"Cubic block edge length.")
+
+let perf_cmd =
+  Cmd.v
+    (Cmd.info "perf" ~doc:"ECM performance model report for every kernel (Kerncraft workflow).")
+    Term.(const perf $ model_arg $ cores_arg $ block_arg)
+
+(* ---- registers ---- *)
+
+let registers params =
+  let g = generate params false in
+  let dev = Gpumodel.Device.p100 in
+  List.iter
+    (fun (k : Ir.Kernel.t) ->
+      let outcomes = Gpumodel.Evotune.tune ~generations:3 ~population:8 dev k.Ir.Kernel.body in
+      let best = List.hd outcomes in
+      let baseline = List.find (fun o -> o.Gpumodel.Evotune.genome = []) outcomes in
+      Fmt.pr "%-14s baseline %d regs %.2f ns/LUP -> tuned [%s] %d regs %.2f ns/LUP@."
+        k.Ir.Kernel.name baseline.Gpumodel.Evotune.registers.Gpumodel.Transforms.nvcc
+        baseline.Gpumodel.Evotune.time_ns
+        (String.concat "; " (List.map Gpumodel.Transforms.name best.Gpumodel.Evotune.genome))
+        best.Gpumodel.Evotune.registers.Gpumodel.Transforms.nvcc best.Gpumodel.Evotune.time_ns)
+    (kernels_of g)
+
+let registers_cmd =
+  Cmd.v
+    (Cmd.info "registers" ~doc:"GPU register-pressure analysis and evolutionary transformation tuning.")
+    Term.(const registers $ model_arg)
+
+(* ---- simulate ---- *)
+
+let simulate params size steps ranks split =
+  let g = generate params false in
+  let dim = params.Pfcore.Params.dim in
+  let variant = if split then Pfcore.Timestep.Split else Pfcore.Timestep.Full in
+  let t0 = Unix.gettimeofday () in
+  let fractions =
+    if ranks > 1 then begin
+      let grid = Array.init dim (fun d -> if d = 0 then ranks else 1) in
+      let block_dims = Array.init dim (fun d -> if d = 0 then size / ranks else size) in
+      let forest = Blocks.Forest.create ~variant_phi:variant ~grid ~block_dims g in
+      Array.iter Pfcore.Simulation.init_lamellae forest.Blocks.Forest.sims;
+      Blocks.Forest.prime forest;
+      Blocks.Forest.run forest ~steps;
+      Blocks.Forest.phase_fractions forest
+    end
+    else begin
+      let sim = Pfcore.Timestep.create ~variant_phi:variant ~dims:(Array.make dim size) g in
+      (if Pfcore.Params.n_mu params > 0 then Pfcore.Simulation.init_lamellae sim
+       else Pfcore.Simulation.init_sphere sim);
+      Pfcore.Timestep.run sim ~steps;
+      Pfcore.Simulation.phase_fractions sim
+    end
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let cells = float_of_int (int_of_float (float_of_int size ** float_of_int dim)) in
+  Fmt.pr "%d steps of %s on %d^%d (%d rank%s, %s phi kernel) in %.2f s = %.3f MLUP/s@." steps
+    params.Pfcore.Params.name size dim ranks
+    (if ranks > 1 then "s" else "")
+    (if split then "split" else "full")
+    dt
+    (cells *. float_of_int steps /. dt /. 1e6);
+  Fmt.pr "phase fractions: %a@." Fmt.(array ~sep:sp (fmt "%.4f")) fractions
+
+let size_arg = Arg.(value & opt int 32 & info [ "size" ] ~doc:"Domain edge length in cells.")
+let steps_arg = Arg.(value & opt int 50 & info [ "steps" ] ~doc:"Time steps to run.")
+let ranks_arg = Arg.(value & opt int 1 & info [ "ranks" ] ~doc:"Simulated MPI ranks (1D decomposition).")
+let split_arg = Arg.(value & flag & info [ "split" ] ~doc:"Use the split (staggered-precompute) phi kernel variant.")
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a simulation with the generated kernels (optionally on simulated MPI ranks).")
+    Term.(const simulate $ model_arg $ size_arg $ steps_arg $ ranks_arg $ split_arg)
+
+(* ---- main ---- *)
+
+let () =
+  let info =
+    Cmd.info "pfgen" ~version:"1.0.0"
+      ~doc:"Code generation for massively parallel phase-field simulations (SC'19 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_c_cmd; gen_cuda_cmd; table1_cmd; perf_cmd; registers_cmd; simulate_cmd ]))

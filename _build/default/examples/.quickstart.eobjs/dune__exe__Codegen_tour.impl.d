@@ -1,0 +1,1 @@
+examples/codegen_tour.ml: Array Backend Expr Fd Field Fmt Gpumodel Ir List Perfmodel Pfcore Simplify String Symbolic

@@ -1,0 +1,1 @@
+examples/dendrite.ml: Array Field Fmt Pfcore Sys Vm

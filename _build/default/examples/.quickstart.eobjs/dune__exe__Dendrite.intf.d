@@ -1,0 +1,1 @@
+examples/dendrite.mli:

@@ -1,0 +1,1 @@
+examples/eutectic.ml: Array Field Fmt List Option Pfcore Sys Unix Vm

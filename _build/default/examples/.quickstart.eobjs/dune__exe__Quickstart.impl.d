@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Field Fmt Ir List Pfcore

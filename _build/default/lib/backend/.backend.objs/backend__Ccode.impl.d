@@ -1,0 +1,1 @@
+lib/backend/ccode.ml: Array Assignment Buffer Cexpr Expr Field Fieldspec Ir List Printf String Symbolic

@@ -1,0 +1,1 @@
+lib/backend/cexpr.ml: Array Buffer Expr Fieldspec Float List Printf String Symbolic

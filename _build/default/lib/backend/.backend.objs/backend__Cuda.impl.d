@@ -1,0 +1,1 @@
+lib/backend/cuda.ml: Array Assignment Buffer Ccode Cexpr Field Fieldspec Ir List Printf String Symbolic

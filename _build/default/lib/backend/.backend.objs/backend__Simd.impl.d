@@ -1,0 +1,1 @@
+lib/backend/simd.ml: Array Assignment Buffer Ccode Cexpr Expr Field Fieldspec Ir List Option Printf String Symbolic

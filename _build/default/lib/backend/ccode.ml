@@ -1,0 +1,113 @@
+(** C backend: OpenMP-parallel scalar kernels (paper §3.5).
+
+    Emits one C function per kernel.  The loop nest, loop order and
+    loop-invariant hoisting come from the IR lowering; the outermost loop
+    carries an [omp parallel for] pragma (legal because the pipeline
+    guarantees independent iterations).  Field pointers, sizes/strides, the
+    block's global offset and the kernel's free symbols become function
+    parameters.  Explicit SIMD vectorization is emitted by {!Simd}. *)
+
+open Symbolic
+open Field
+
+let loop_var d = Printf.sprintf "_i%d" d
+
+let kernel_uses_rand (k : Ir.Kernel.t) =
+  List.exists
+    (fun (a : Assignment.t) ->
+      Expr.fold (fun u n -> u || match n with Expr.Rand _ -> true | _ -> false) false a.rhs)
+    k.Ir.Kernel.body
+
+let signature (k : Ir.Kernel.t) =
+  let fields = Ir.Kernel.fields k in
+  let field_args =
+    List.map
+      (fun (f : Fieldspec.t) -> Printf.sprintf "double * restrict %s" (Cexpr.ident f.name))
+      fields
+  in
+  let scalar_args = List.map (fun s -> "double " ^ Cexpr.ident s) (Ir.Kernel.parameters k) in
+  let admin_args =
+    List.init k.Ir.Kernel.dim (fun d -> Printf.sprintf "int64_t _n%d" d)
+    @ List.init (k.Ir.Kernel.dim - 1) (fun d -> Printf.sprintf "int64_t _s%d" (d + 1))
+    @ [ "int64_t _cs" ]
+    @ List.init k.Ir.Kernel.dim (fun d -> Printf.sprintf "int64_t _off_%d" d)
+    @ (if kernel_uses_rand k then
+         List.init (k.Ir.Kernel.dim - 1) (fun d -> Printf.sprintf "int64_t _gs%d" d)
+       else [])
+    @ [ "int32_t _step" ]
+  in
+  Printf.sprintf "void %s(%s)" (Cexpr.ident k.Ir.Kernel.name)
+    (String.concat ", " (field_args @ scalar_args @ admin_args))
+
+let emit_assignment buf ~indent ~dialect ~approx (a : Assignment.t) =
+  let pad = String.make indent ' ' in
+  match a.lhs with
+  | Assignment.Temp s ->
+    Buffer.add_string buf
+      (Printf.sprintf "%sconst double %s = %s;\n" pad (Cexpr.ident s)
+         (Cexpr.emit ~dialect ~approx a.rhs))
+  | Assignment.Store acc ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s = %s;\n" pad (Cexpr.access_ref acc)
+         (Cexpr.emit ~dialect ~approx a.rhs))
+
+let upper_bound (k : Ir.Kernel.t) axis =
+  match k.Ir.Kernel.iteration with
+  | Ir.Kernel.CellSweep -> Printf.sprintf "_n%d" axis
+  | Ir.Kernel.StaggeredSweep axes ->
+    if List.mem axis axes then Printf.sprintf "_n%d + 1" axis else Printf.sprintf "_n%d" axis
+
+(** Emit the kernel as a standalone C function (scalar body). *)
+let emit ?(approx = Cexpr.exact) ?(openmp = true) (lowered : Ir.Lower.t) =
+  let k = lowered.Ir.Lower.kernel in
+  let dim = k.Ir.Kernel.dim in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (signature k);
+  Buffer.add_string buf " {\n";
+  let dialect = Cexpr.C in
+  List.iter (emit_assignment buf ~indent:2 ~dialect ~approx) lowered.Ir.Lower.hoisted.(0);
+  let uses_rand = kernel_uses_rand k in
+  let order = lowered.Ir.Lower.loop_order in
+  Array.iteri
+    (fun depth axis ->
+      let pad = String.make (2 * (depth + 1)) ' ' in
+      if depth = 0 && openmp then
+        Buffer.add_string buf "  #pragma omp parallel for schedule(static)\n";
+      Buffer.add_string buf
+        (Printf.sprintf "%sfor (int64_t %s = 0; %s < %s; ++%s) {\n" pad (loop_var axis)
+           (loop_var axis) (upper_bound k axis) (loop_var axis));
+      List.iter
+        (emit_assignment buf ~indent:(2 * (depth + 2)) ~dialect ~approx)
+        (if depth + 1 <= dim - 1 then lowered.Ir.Lower.hoisted.(depth + 1) else []))
+    order;
+  (* innermost body: compute the shared base index once per iteration *)
+  let pad = String.make (2 * (dim + 1)) ' ' in
+  let base_terms =
+    List.init dim (fun d ->
+        if d = 0 then loop_var 0 else Printf.sprintf "%s*_s%d" (loop_var d) d)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%sconst int64_t _b = %s;\n" pad (String.concat " + " base_terms));
+  if uses_rand then begin
+    (* global cell id: Horner over the global coordinates *)
+    let rec cell d acc =
+      if d < 0 then acc
+      else
+        let g = Printf.sprintf "(_i%d + _off_%d)" d d in
+        let acc = if acc = "" then g else Printf.sprintf "(%s) * _gs%d + %s" acc d g in
+        cell (d - 1) acc
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%sconst int64_t _cell = %s;\n" pad (cell (dim - 1) ""))
+  end;
+  List.iter (emit_assignment buf ~indent:(2 * (dim + 1)) ~dialect ~approx) lowered.Ir.Lower.body;
+  for depth = dim - 1 downto 0 do
+    Buffer.add_string buf (String.make (2 * (depth + 1)) ' ');
+    Buffer.add_string buf "}\n"
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** A complete translation unit: prelude plus the given kernels. *)
+let translation_unit ?(approx = Cexpr.exact) ?(openmp = true) lowered_kernels =
+  Cexpr.prelude ^ "\n" ^ String.concat "\n" (List.map (emit ~approx ~openmp) lowered_kernels)

@@ -1,0 +1,126 @@
+(** Scalar C expression printing, shared by the C and CUDA backends.
+
+    Field accesses are rendered against a single running base index [_b]
+    (all fields of a kernel share dims and ghost width, paper §3.4's
+    base-pointer + linear-index form): [f[_b + o0 + o1*_s1 + c*_cs]].
+    Small integer powers go through static-inline helpers so operands are
+    evaluated once. *)
+
+open Symbolic
+
+(** Approximate-operation policy: the user may mark divisions and (inverse)
+    square roots for fast approximate evaluation (paper §3.5). *)
+type approx = { fast_div : bool; fast_rsqrt : bool }
+
+let exact = { fast_div = false; fast_rsqrt = false }
+
+type dialect = C | Cuda
+
+let ident s =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c else '_') s
+
+let float_lit x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.17g" x
+
+let access_index (a : Fieldspec.access) =
+  let comp =
+    if a.face_axis >= 0 then (a.component * a.field.Fieldspec.dim) + a.face_axis
+    else a.component
+  in
+  let b = Buffer.create 32 in
+  Buffer.add_string b "_b";
+  Array.iteri
+    (fun d o ->
+      if o <> 0 then
+        if d = 0 then Buffer.add_string b (Printf.sprintf " %s %d" (if o > 0 then "+" else "-") (abs o))
+        else
+          Buffer.add_string b
+            (Printf.sprintf " %s %d*_s%d" (if o > 0 then "+" else "-") (abs o) d))
+    a.offsets;
+  if comp <> 0 then Buffer.add_string b (Printf.sprintf " + %d*_cs" comp);
+  Buffer.contents b
+
+let access_ref (a : Fieldspec.access) =
+  Printf.sprintf "%s[%s]" (ident a.field.Fieldspec.name) (access_index a)
+
+(* Coordinate value: physical position of the cell center.  The loop
+   counters _i0.. are block-local; _off_d is the block's global offset. *)
+let coord_ref d = Printf.sprintf "((double)(_i%d + _off_%d) + 0.5) * dx" d d
+
+let rec emit ?(dialect = C) ?(approx = exact) e =
+  let go e = emit ~dialect ~approx e in
+  let paren s = "(" ^ s ^ ")" in
+  match e with
+  | Expr.Num x -> float_lit x
+  | Expr.Sym s -> ident s
+  | Expr.Coord d -> paren (coord_ref d)
+  | Expr.Access a -> access_ref a
+  | Expr.Rand slot -> Printf.sprintf "pf_philox_sym(_cell, _step, %d)" slot
+  | Expr.Diff _ -> invalid_arg "Cexpr.emit: Diff survived discretization"
+  | Expr.Add xs -> paren (String.concat " + " (List.map go xs))
+  | Expr.Mul xs -> paren (String.concat "*" (List.map go xs))
+  | Expr.Pow (b, n) -> (
+    let base = go b in
+    match n with
+    | 2 -> Printf.sprintf "pf_pow2(%s)" base
+    | 3 -> Printf.sprintf "pf_pow3(%s)" base
+    | 4 -> Printf.sprintf "pf_pow4(%s)" base
+    | -1 -> emit_div ~dialect ~approx "1.0" base
+    | -2 -> emit_div ~dialect ~approx "1.0" (Printf.sprintf "pf_pow2(%s)" base)
+    | n when n > 0 -> Printf.sprintf "pow(%s, %d.0)" base n
+    | n -> emit_div ~dialect ~approx "1.0" (Printf.sprintf "pow(%s, %d.0)" base (-n)))
+  | Expr.Fun (f, xs) -> (
+    let args = List.map go xs in
+    match (f, args) with
+    | Expr.Sqrt, [ x ] -> Printf.sprintf "sqrt(%s)" x
+    | Expr.Rsqrt, [ x ] ->
+      if approx.fast_rsqrt && dialect = Cuda then Printf.sprintf "(double)__frsqrt_rn((float)(%s))" x
+      else emit_div ~dialect ~approx "1.0" (Printf.sprintf "sqrt(%s)" x)
+    | Expr.Exp, [ x ] -> Printf.sprintf "exp(%s)" x
+    | Expr.Log, [ x ] -> Printf.sprintf "log(%s)" x
+    | Expr.Sin, [ x ] -> Printf.sprintf "sin(%s)" x
+    | Expr.Cos, [ x ] -> Printf.sprintf "cos(%s)" x
+    | Expr.Tanh, [ x ] -> Printf.sprintf "tanh(%s)" x
+    | Expr.Fabs, [ x ] -> Printf.sprintf "fabs(%s)" x
+    | Expr.Fmin, [ x; y ] -> Printf.sprintf "fmin(%s, %s)" x y
+    | Expr.Fmax, [ x; y ] -> Printf.sprintf "fmax(%s, %s)" x y
+    | _ -> invalid_arg "Cexpr.emit: bad function arity")
+  | Expr.Select (c, t, f) ->
+    let cond =
+      match c with
+      | Expr.Lt (a, b) -> Printf.sprintf "%s < %s" (go a) (go b)
+      | Expr.Le (a, b) -> Printf.sprintf "%s <= %s" (go a) (go b)
+    in
+    paren (Printf.sprintf "%s ? %s : %s" cond (go t) (go f))
+
+and emit_div ~dialect ~approx num den =
+  if approx.fast_div && dialect = Cuda then
+    Printf.sprintf "(double)__fdividef((float)(%s), (float)(%s))" num den
+  else Printf.sprintf "(%s/%s)" num den
+
+(** Shared helper prelude (powers, Philox for fluctuation terms). *)
+let prelude =
+  {|#include <math.h>
+#include <stdint.h>
+
+static inline double pf_pow2(double x) { return x * x; }
+static inline double pf_pow3(double x) { return x * x * x; }
+static inline double pf_pow4(double x) { double s = x * x; return s * s; }
+
+/* Philox-4x32-10 keyed on (cell index, time step): stateless fluctuation. */
+static inline double pf_philox_sym(int64_t cell, int32_t step, int32_t slot) {
+  uint32_t c0 = (uint32_t)cell, c1 = (uint32_t)(cell >> 32);
+  uint32_t c2 = (uint32_t)step, c3 = (uint32_t)slot;
+  uint32_t k0 = 0x5eedu, k1 = 0xC0FFEEu;
+  for (int r = 0; r < 10; ++r) {
+    uint64_t p0 = (uint64_t)0xD2511F53u * c0, p1 = (uint64_t)0xCD9E8D57u * c2;
+    uint32_t h0 = (uint32_t)(p0 >> 32), l0 = (uint32_t)p0;
+    uint32_t h1 = (uint32_t)(p1 >> 32), l1 = (uint32_t)p1;
+    c0 = h1 ^ c1 ^ k0; c1 = l1; c2 = h0 ^ c3 ^ k1; c3 = l0;
+    k0 += 0x9E3779B9u; k1 += 0xBB67AE85u;
+  }
+  uint64_t bits = ((uint64_t)c0 << 21) | ((uint64_t)c1 >> 11);
+  return 2.0 * ((double)bits / 9007199254740992.0) - 1.0;
+}
+|}

@@ -1,0 +1,1 @@
+lib/blocks/forest.ml: Array Fieldspec Ghost Mpisim Pfcore Symbolic Vm

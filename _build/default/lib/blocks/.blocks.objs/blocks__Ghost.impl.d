@@ -1,0 +1,1 @@
+lib/blocks/ghost.ml: Array Vm

@@ -1,0 +1,1 @@
+lib/blocks/gpucomm.ml: Array Float Gpumodel Netmodel

@@ -1,0 +1,1 @@
+lib/blocks/morton.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/blocks/mpisim.ml: Array Hashtbl Queue

@@ -1,0 +1,1 @@
+lib/blocks/netmodel.ml:

@@ -1,0 +1,1 @@
+lib/blocks/scaling.ml: Array Float Netmodel

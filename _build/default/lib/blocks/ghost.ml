@@ -1,0 +1,73 @@
+(** Ghost-layer packing and unpacking (paper §4.3).
+
+    Slabs are packed into contiguous buffers before sending — the same
+    two-step exchange the paper implements with device-side packing kernels
+    on GPUs.  Exchanging axis by axis, with the slab spanning the full
+    padded extent of the other axes, also propagates edge and corner ghost
+    values (needed by the D3C19-shaped kernels). *)
+
+type side = Low | High
+
+(* Cell range of the slab along the exchange axis. *)
+let pack_range buf axis = function
+  | Low -> (0, buf.Vm.Buffer.ghost - 1)
+  | High -> (buf.Vm.Buffer.dims.(axis) - buf.Vm.Buffer.ghost, buf.Vm.Buffer.dims.(axis) - 1)
+
+let unpack_range buf axis = function
+  | Low -> (-buf.Vm.Buffer.ghost, -1)
+  | High -> (buf.Vm.Buffer.dims.(axis), buf.Vm.Buffer.dims.(axis) + buf.Vm.Buffer.ghost - 1)
+
+let slab_size buf axis =
+  let g = buf.Vm.Buffer.ghost in
+  let padded = Array.mapi (fun d n -> if d = axis then g else n + (2 * g)) buf.Vm.Buffer.dims in
+  buf.Vm.Buffer.components * Array.fold_left ( * ) 1 padded
+
+(* Iterate the slab deterministically, calling [f] with the linear element
+   index of each (component, cell). *)
+let iter_slab buf ~axis ~range f =
+  let dim = Array.length buf.Vm.Buffer.dims in
+  let g = buf.Vm.Buffer.ghost in
+  let lo, hi = range in
+  let coords = Array.make dim 0 in
+  let rec loop d =
+    if d = dim then begin
+      let base = Vm.Buffer.base_index buf coords in
+      for c = 0 to buf.Vm.Buffer.components - 1 do
+        f (base + (c * buf.Vm.Buffer.comp_stride))
+      done
+    end
+    else
+      let l, h = if d = axis then (lo, hi) else (-g, buf.Vm.Buffer.dims.(d) + g - 1) in
+      for i = l to h do
+        coords.(d) <- i;
+        loop (d + 1)
+      done
+  in
+  loop 0
+
+let pack buf ~axis ~side =
+  let out = Array.make (slab_size buf axis) 0. in
+  let k = ref 0 in
+  iter_slab buf ~axis ~range:(pack_range buf axis side)
+    (fun idx ->
+      out.(!k) <- buf.Vm.Buffer.data.(idx);
+      incr k);
+  out
+
+let unpack buf ~axis ~side data =
+  if Array.length data <> slab_size buf axis then invalid_arg "Ghost.unpack: size mismatch";
+  let k = ref 0 in
+  iter_slab buf ~axis ~range:(unpack_range buf axis side)
+    (fun idx ->
+      buf.Vm.Buffer.data.(idx) <- data.(!k);
+      incr k)
+
+(** Ghost bytes exchanged per block per field per full exchange — the
+    message volume used by the network model. *)
+let exchange_bytes buf =
+  let dim = Array.length buf.Vm.Buffer.dims in
+  let total = ref 0 in
+  for axis = 0 to dim - 1 do
+    total := !total + (2 * 8 * slab_size buf axis)
+  done;
+  !total

@@ -1,0 +1,63 @@
+(** GPU communication strategies (paper §4.3, Table 2).
+
+    A Piz Daint step moves ghost layers GPU → network → GPU.  Four costs:
+
+    - [t_comp]: the compute kernels on the device;
+    - [t_pack]: device-side packing kernels (always on the critical path);
+    - [t_stage]: staging message buffers through host memory over PCIe —
+      eliminated by CUDA-enabled MPI + GPUDirect RDMA;
+    - [t_net]: the wire transfer.
+
+    With communication hiding (asynchronous MPI + parallel CUDA streams,
+    μ-exchange behind the φ kernel, inner/outer μ split behind the
+    φ-exchange), the wire time overlaps the kernels; host staging involves
+    blocking host-side copies and stays on the critical path. *)
+
+type options = { overlap : bool; gpudirect : bool }
+
+type cost = {
+  t_comp_s : float;
+  t_pack_s : float;
+  t_stage_s : float;
+  t_net_s : float;
+}
+
+let pcie_gbytes = 11.0  (* P100 on PCIe gen3 x16, effective *)
+
+let costs (dev : Gpumodel.Device.t) (net : Netmodel.t) ~block_dims ~bytes_per_cell
+    ~flops_per_cell ~ranks =
+  let cells = Array.fold_left (fun a n -> a *. float_of_int n) 1. block_dims in
+  let stream_bytes = cells *. float_of_int bytes_per_cell in
+  let t_comp =
+    cells
+    *. Gpumodel.Device.time_per_lup_ns dev ~flops:flops_per_cell
+         ~bytes:(float_of_int bytes_per_cell) ~registers:128
+    *. 1e-9
+  in
+  let dim = Array.length block_dims in
+  let ghost = ref 0. in
+  for axis = 0 to dim - 1 do
+    let face =
+      Array.fold_left ( *. ) 1.
+        (Array.mapi (fun d n -> if d = axis then 1. else float_of_int n) block_dims)
+    in
+    (* ~14 doubles of ghost payload per boundary cell (φ and μ, both time
+       levels where needed), 2 faces per axis, 2 exchanges per step *)
+    ghost := !ghost +. (2. *. 2. *. face *. 14. *. 8.)
+  done;
+  ignore stream_bytes;
+  let t_pack = !ghost /. (dev.Gpumodel.Device.mem_bw_gbytes *. 1e9) *. 8. in
+  let t_stage = !ghost /. (pcie_gbytes *. 1e9) in
+  let t_net = Netmodel.exchange_time_s net ~bytes:(!ghost /. 6.) ~neighbors:6 ~ranks in
+  { t_comp_s = t_comp; t_pack_s = t_pack; t_stage_s = t_stage; t_net_s = t_net }
+
+(** Step time under a strategy; Table 2's four rows are the four option
+    combinations. *)
+let step_time (c : cost) (o : options) =
+  let stage = if o.gpudirect then 0. else c.t_stage_s in
+  if o.overlap then Float.max c.t_comp_s c.t_net_s +. c.t_pack_s +. stage
+  else c.t_comp_s +. c.t_net_s +. c.t_pack_s +. stage
+
+let mlups_per_gpu (c : cost) (o : options) ~block_dims =
+  let cells = Array.fold_left (fun a n -> a *. float_of_int n) 1. block_dims in
+  cells /. step_time c o /. 1e6

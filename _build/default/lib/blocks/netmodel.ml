@@ -1,0 +1,57 @@
+(** Analytic interconnect models for the scaling projections.
+
+    Measured in-container runs cover the node level; curves beyond one node
+    use a latency–bandwidth (Hockney) model with a topology-dependent hop
+    term: a fat tree (SuperMUC-NG's island structure) or a dragonfly
+    (Piz Daint's Aries).  EXPERIMENTS.md labels every number derived from
+    these models as *modeled*. *)
+
+type topology =
+  | Fat_tree of { island_size : int }    (** extra hops when crossing islands *)
+  | Dragonfly of { group_size : int }    (** global links between groups *)
+
+type t = {
+  name : string;
+  latency_us : float;         (** per message, nearest neighbour *)
+  bandwidth_gbytes : float;   (** per link, per direction *)
+  hop_latency_us : float;     (** additional latency per topology level *)
+  topology : topology;
+}
+
+let supermuc_ng =
+  {
+    name = "SuperMUC-NG (OmniPath fat tree)";
+    latency_us = 1.5;
+    bandwidth_gbytes = 12.5;
+    hop_latency_us = 0.4;
+    topology = Fat_tree { island_size = 792 * 48 };
+  }
+
+let piz_daint =
+  {
+    name = "Piz Daint (Aries dragonfly)";
+    latency_us = 1.2;
+    bandwidth_gbytes = 10.2;
+    hop_latency_us = 0.3;
+    topology = Dragonfly { group_size = 384 };
+  }
+
+(* Topology levels a communicator of [ranks] spans. *)
+let levels net ~ranks =
+  match net.topology with
+  | Fat_tree { island_size } ->
+    if ranks <= 48 then 1 else if ranks <= island_size then 2 else 3
+  | Dragonfly { group_size } -> if ranks <= 4 then 1 else if ranks <= group_size then 2 else 3
+
+(** Time for one ghost exchange: [neighbors] messages of [bytes] each,
+    posted concurrently (asynchronous sends), so bandwidth is shared. *)
+let exchange_time_s net ~bytes ~neighbors ~ranks =
+  let latency = (net.latency_us +. (net.hop_latency_us *. float_of_int (levels net ~ranks - 1))) *. 1e-6 in
+  let volume = float_of_int neighbors *. bytes in
+  latency +. (volume /. (net.bandwidth_gbytes *. 1e9))
+
+(** Allreduce-style global operation (time-step size reductions, in-situ
+    analysis): logarithmic in rank count. *)
+let allreduce_time_s net ~ranks =
+  let hops = ceil (log (float_of_int (max 2 ranks)) /. log 2.) in
+  hops *. (net.latency_us +. (net.hop_latency_us *. float_of_int (levels net ~ranks - 1))) *. 1e-6

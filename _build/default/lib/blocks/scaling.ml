@@ -1,0 +1,60 @@
+(** Weak- and strong-scaling projections (paper Fig. 3).
+
+    Per-step time on [ranks] processing elements:
+
+      t_step = t_compute(block) + max(0, t_comm − t_overlappable)
+
+    where [t_compute] comes from a measured or ECM-modeled per-PE rate and
+    [t_comm] from the network model.  Communication of μ overlaps with the
+    φ kernel and φ's with the split μ update (paper §4.3), so with hiding
+    enabled only the non-overlappable remainder shows. *)
+
+type config = {
+  net : Netmodel.t;
+  mlups_per_pe : float;          (** node-level compute rate per PE *)
+  fields_bytes_per_cell : int;   (** ghost payload per boundary cell *)
+  ghost_width : int;
+  overlap : bool;                (** communication hiding enabled *)
+}
+
+let ghost_bytes cfg ~block_dims =
+  let dim = Array.length block_dims in
+  let total = ref 0. in
+  for axis = 0 to dim - 1 do
+    let face =
+      Array.fold_left ( *. ) 1.
+        (Array.mapi (fun d n -> if d = axis then float_of_int cfg.ghost_width else float_of_int n) block_dims)
+    in
+    total := !total +. (2. *. face *. float_of_int cfg.fields_bytes_per_cell)
+  done;
+  !total
+
+let step_time_s cfg ~block_dims ~ranks =
+  let cells = Array.fold_left (fun a n -> a *. float_of_int n) 1. block_dims in
+  let t_comp = cells /. (cfg.mlups_per_pe *. 1e6) in
+  let bytes = ghost_bytes cfg ~block_dims /. 6. (* per neighbor message *) in
+  let t_comm = Netmodel.exchange_time_s cfg.net ~bytes ~neighbors:6 ~ranks in
+  (* two exchanges per step (φ_dst and μ_dst) *)
+  let t_comm = 2. *. t_comm in
+  (* per-step global reduction (time-step control / in-situ analysis) is a
+     synchronization point and cannot be overlapped *)
+  let t_sync = Netmodel.allreduce_time_s cfg.net ~ranks in
+  if cfg.overlap then t_comp +. Float.max 0. (t_comm -. (0.9 *. t_comp)) +. t_sync
+  else t_comp +. t_comm +. t_sync
+
+(** Weak scaling: fixed block per PE; returns MLUP/s per PE. *)
+let weak cfg ~block_dims ~ranks =
+  let cells = Array.fold_left (fun a n -> a *. float_of_int n) 1. block_dims in
+  cells /. step_time_s cfg ~block_dims ~ranks /. 1e6
+
+(** Strong scaling: fixed global domain; returns (MLUP/s per PE, steps/s).
+    The block shrinks with the PE count (idealized equal split). *)
+let strong cfg ~global_dims ~ranks =
+  let dim = Array.length global_dims in
+  let per_axis = float_of_int ranks ** (1. /. float_of_int dim) in
+  let block_dims =
+    Array.map (fun n -> max 4 (int_of_float (float_of_int n /. per_axis))) global_dims
+  in
+  let t = step_time_s cfg ~block_dims ~ranks in
+  let cells = Array.fold_left (fun a n -> a *. float_of_int n) 1. block_dims in
+  (cells /. t /. 1e6, 1. /. t)

@@ -1,0 +1,1 @@
+lib/core/genkernels.ml: Array Assignment Expr Fd Field Fieldspec Fmt Fun Ir List Model Opcount Params Printf Symbolic

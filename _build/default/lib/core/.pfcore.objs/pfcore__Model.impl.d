@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Energy Expr Fieldspec Float List Params Printf Symbolic

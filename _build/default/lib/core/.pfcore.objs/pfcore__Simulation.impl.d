@@ -1,0 +1,1 @@
+lib/core/simulation.ml: Array Float Genkernels List Option Params Timestep Vm

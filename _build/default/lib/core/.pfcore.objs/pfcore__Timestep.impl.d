@@ -1,0 +1,1 @@
+lib/core/timestep.ml: Array Fieldspec Genkernels Option Params Symbolic Vm

@@ -1,0 +1,1 @@
+lib/core/vtkout.ml: Array Genkernels List Params Printf Simulation Timestep Vm

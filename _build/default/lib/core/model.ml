@@ -1,0 +1,305 @@
+(** The model layers: energy functional → coupled PDEs (paper §3.1–3.2).
+
+    Given a parameter set, builds the continuous right-hand sides of
+
+    - the Allen–Cahn equations
+        τ_ip ε ∂φ_α/∂t = −δΨ/δφ_α + Λ + ξ(φ),   Λ = (1/N) Σ_β δΨ/δφ_β
+      with the variational derivative of the grand-potential functional and
+      an optional Philox-backed fluctuation term, and
+
+    - the non-variational chemical-potential evolution (paper eq. 8)
+        ∂μ/∂t = (∂c/∂μ)⁻¹ [ ∇·(M(φ,μ,T)∇μ − J_at) − (∂c/∂φ)·∂φ/∂t
+                            − (∂c/∂T) ∂T/∂t ]
+      with mobility interpolated by g_α (eq. 9) and the anti-trapping
+      current of eq. 10.
+
+    Parameters are embedded as numeric constants (the paper's compile-time
+    specialization) or, when [symbolic] is set, as named symbols that remain
+    runtime kernel arguments; [bindings] collects their values either way. *)
+
+open Symbolic
+open Expr
+
+type fields = {
+  phi_src : Fieldspec.t;
+  phi_dst : Fieldspec.t;
+  mu_src : Fieldspec.t;
+  mu_dst : Fieldspec.t;
+  phi_stag : Fieldspec.t;  (** staggered flux cache for the φ-split kernel *)
+  mu_stag : Fieldspec.t;
+}
+
+let make_fields (p : Params.t) =
+  let dim = p.dim in
+  let n = p.n_phases and km = max 1 (Params.n_mu p) in
+  {
+    phi_src = Fieldspec.create ~dim ~components:n "phi_src";
+    phi_dst = Fieldspec.create ~dim ~components:n "phi_dst";
+    mu_src = Fieldspec.create ~dim ~components:km "mu_src";
+    mu_dst = Fieldspec.create ~dim ~components:km "mu_dst";
+    phi_stag = Fieldspec.create ~kind:Fieldspec.Staggered ~dim ~components:n "phi_stag";
+    mu_stag = Fieldspec.create ~kind:Fieldspec.Staggered ~dim ~components:km "mu_stag";
+  }
+
+(** Parameter context: [scalar name value] yields either a frozen numeric
+    constant or a named symbol, recording the binding. *)
+type param_ctx = { symbolic : bool; mutable bindings : (string * float) list }
+
+let make_ctx ~symbolic = { symbolic; bindings = [] }
+
+let scalar ctx name v =
+  if not (List.mem_assoc name ctx.bindings) then ctx.bindings <- (name, v) :: ctx.bindings;
+  if ctx.symbolic then sym name else num v
+
+(* Numerical guard width for normalizations and divisions in interface
+   terms; always frozen (it is not a physical parameter). *)
+let guard_eps = 1e-9
+
+(** Analytic temperature field, in terms of [Coord] and the time symbol
+    [t] — its special functional form (dependence on a single coordinate)
+    is what the loop-invariant hoisting exploits. *)
+let temperature (p : Params.t) =
+  match p.temp with
+  | Params.Const_temp v -> num v
+  | Params.Gradient { t0; grad; axis; velocity } ->
+    add [ num t0; mul [ num grad; sub (coord axis) (mul [ num velocity; sym "t" ]) ] ]
+
+let phi_at ?(component = 0) f = field ~component f
+let phis (p : Params.t) f = Array.init p.n_phases (fun a -> phi_at ~component:a f)
+let mus (p : Params.t) f = Array.init (Params.n_mu p) (fun i -> phi_at ~component:i f)
+
+(* Thermodynamic quantities are built against the placeholder symbol T_loc
+   and the caller substitutes the analytic temperature at the end; this
+   keeps ∂c/∂T a plain symbolic derivative. *)
+let t_loc = sym "T_loc"
+
+let affine ctx base name0 name1 v0 v1 =
+  let c0 = scalar ctx (base ^ name0) v0 in
+  if v1 = 0. && not ctx.symbolic then c0
+  else add [ c0; mul [ scalar ctx (base ^ name1) v1; t_loc ] ]
+
+(** Per-phase parabolic coefficients A_α(T), B_α(T), C_α(T). *)
+let parabolic_coeffs ctx (p : Params.t) alpha =
+  let km = Params.n_mu p in
+  let base = Printf.sprintf "ph%d_" alpha in
+  let a =
+    Array.init km (fun i ->
+        Array.init km (fun j ->
+            affine ctx base
+              (Printf.sprintf "a0_%d_%d" i j)
+              (Printf.sprintf "a1_%d_%d" i j)
+              p.par_a0.(alpha).(i).(j) p.par_a1.(alpha).(i).(j)))
+  in
+  let b =
+    Array.init km (fun i ->
+        affine ctx base (Printf.sprintf "b0_%d" i) (Printf.sprintf "b1_%d" i)
+          p.par_b0.(alpha).(i) p.par_b1.(alpha).(i))
+  in
+  let c = affine ctx base "c0" "c1" p.par_c0.(alpha) p.par_c1.(alpha) in
+  (a, b, c)
+
+(** Concentration vector of phase α: c_α(μ,T) = −(2 A_α μ + B_α). *)
+let phase_concentration ctx (p : Params.t) ~mu alpha =
+  let a, b, _ = parabolic_coeffs ctx p alpha in
+  Energy.Functional.concentration ~a ~b ~mu
+
+let gamma_of ctx (p : Params.t) a b =
+  scalar ctx (Printf.sprintf "gamma_%d_%d" (min a b) (max a b)) p.gamma.(a).(b)
+
+let aniso_of ctx (p : Params.t) a b =
+  match p.aniso.(a).(b) with
+  | Params.Iso -> Energy.Functional.Isotropic
+  | Params.Cubic { delta; rotation } ->
+    Energy.Functional.Cubic
+      { delta = scalar ctx (Printf.sprintf "delta_%d_%d" (min a b) (max a b)) delta; rotation }
+
+(** The full energy density ε a + ω/ε + ψ of paper eq. 3, continuous. *)
+let energy_density ctx (p : Params.t) f =
+  let phis = phis p f.phi_src in
+  let eps = scalar ctx "eps" p.eps in
+  let grad_energy =
+    Energy.Functional.gradient_energy ~dim:p.dim ~gamma:(gamma_of ctx p)
+      ~aniso:(aniso_of ctx p) ~phis
+  in
+  let obstacle =
+    Energy.Functional.obstacle ~gamma:(gamma_of ctx p)
+      ~gamma3:(fun _ _ _ -> scalar ctx "gamma3" p.gamma3)
+      ~phis
+  in
+  let driving =
+    if Params.n_mu p = 0 then zero
+    else
+      let mu = mus p f.mu_src in
+      let psis =
+        Array.init p.n_phases (fun alpha ->
+            let a, b, c = parabolic_coeffs ctx p alpha in
+            Energy.Functional.parabolic_potential ~a ~b ~c ~mu)
+      in
+      Energy.Functional.driving_force ~psis ~phis
+  in
+  add [ mul [ eps; grad_energy ]; div obstacle eps; driving ]
+
+(** Locally interpolated kinetic coefficient
+    τ_ip = Σ_{α<β} τ_αβ φ_α φ_β / Σ_{α<β} φ_α φ_β (guarded in the bulk). *)
+let tau_interpolated ctx (p : Params.t) phis =
+  let n = Array.length phis in
+  let weighted = ref [] and weights = ref [] in
+  for beta = n - 1 downto 0 do
+    for alpha = beta - 1 downto 0 do
+      let w = mul [ phis.(alpha); phis.(beta) ] in
+      let t = scalar ctx (Printf.sprintf "tau_%d_%d" alpha beta) p.tau.(alpha).(beta) in
+      weighted := mul [ t; w ] :: !weighted;
+      weights := w :: !weights
+    done
+  done;
+  let sum_w = add !weights in
+  let tau_bulk = scalar ctx "tau_bulk" 1.0 in
+  select (Le (sum_w, num guard_eps)) tau_bulk (div (add !weighted) sum_w)
+
+(** Continuous Allen–Cahn right-hand sides ∂φ_α/∂t for all phases.
+    The temperature placeholder is substituted at the end. *)
+let phi_rhs ctx (p : Params.t) f =
+  let density = energy_density ctx p f in
+  let phis = phis p f.phi_src in
+  let n = p.n_phases in
+  let dpsi =
+    Array.init n (fun alpha -> Energy.Varder.run ~dim:p.dim density ~wrt:phis.(alpha))
+  in
+  let lagrange = mul [ num (1. /. float_of_int n); add (Array.to_list dpsi) ] in
+  let eps = scalar ctx "eps" p.eps in
+  let inv_tau_eps = pow (mul [ tau_interpolated ctx p phis; eps ]) (-1) in
+  let temp = temperature p in
+  Array.init n (fun alpha ->
+      let fluct =
+        if p.fluctuation = 0. then zero
+        else mul [ scalar ctx "noise_amp" p.fluctuation; rand alpha ]
+      in
+      let rhs = mul [ inv_tau_eps; add [ neg dpsi.(alpha); lagrange; fluct ] ] in
+      subst [ (t_loc, temp) ] rhs)
+
+(** Anti-trapping current J_at (paper eq. 10), component [i] of the flux
+    along axis [d]; [phidot] are the discrete-in-time ∂φ_α/∂t built from
+    the src/dst fields. *)
+let anti_trapping ctx (p : Params.t) ~phis ~phidot ~c_of_phase ~axis ~comp =
+  let dim = p.dim and l = p.liquid in
+  let grad a = Energy.Varder.grad ~dim phis.(a) in
+  let norm_inv a =
+    rsqrt (fmax_ (Energy.Varder.grad_sq ~dim phis.(a)) (num guard_eps))
+  in
+  let eps = scalar ctx "eps" p.eps in
+  let prefactor = mul [ num (Float.pi /. 4.); eps ] in
+  let terms = ref [] in
+  for alpha = p.n_phases - 1 downto 0 do
+    if alpha <> l then begin
+      let overlap = mul [ phis.(alpha); phis.(l) ] in
+      let g_h =
+        div
+          (mul [ Energy.Functional.g phis.(alpha); Energy.Functional.h phis.(l) ])
+          (sqrt_ (fmax_ overlap (num guard_eps)))
+      in
+      let align =
+        mul [ Energy.Varder.dot (grad alpha) (grad l); norm_inv alpha; norm_inv l ]
+      in
+      let dc = sub (c_of_phase l).(comp) (c_of_phase alpha).(comp) in
+      let normal_d = mul [ List.nth (grad alpha) axis; norm_inv alpha ] in
+      let term =
+        select
+          (Le (overlap, num guard_eps))
+          zero
+          (mul [ g_h; phidot.(alpha); align; dc; normal_d ])
+      in
+      terms := term :: !terms
+    end
+  done;
+  mul [ prefactor; add !terms ]
+
+(** Continuous μ-equation right-hand sides ∂μ_i/∂t (paper eq. 8).  Reads
+    φ at both time levels: [f.phi_dst] is the already-updated phase field
+    (Algorithm 1 runs the φ kernel first). *)
+let mu_rhs ctx (p : Params.t) f =
+  let km = Params.n_mu p in
+  if km = 0 then [||]
+  else begin
+    let dim = p.dim in
+    let phis_src = phis p f.phi_src in
+    let phis_dst = phis p f.phi_dst in
+    let mu = mus p f.mu_src in
+    let dt = scalar ctx "dt" p.dt in
+    let c_of_phase = Array.init p.n_phases (fun a -> phase_concentration ctx p ~mu a) in
+    let c_mix =
+      Array.init km (fun i ->
+          add
+            (List.init p.n_phases (fun a ->
+                 mul [ c_of_phase.(a).(i); Energy.Functional.h phis_src.(a) ])))
+    in
+    (* χ_ij = ∂c_i/∂μ_j *)
+    let chi = Array.init km (fun i -> Array.init km (fun j -> diff c_mix.(i) ~wrt:mu.(j))) in
+    let chi_inv =
+      match km with
+      | 1 -> [| [| pow chi.(0).(0) (-1) |] |]
+      | 2 ->
+        let det =
+          sub (mul [ chi.(0).(0); chi.(1).(1) ]) (mul [ chi.(0).(1); chi.(1).(0) ])
+        in
+        let inv_det = pow det (-1) in
+        [|
+          [| mul [ chi.(1).(1); inv_det ]; neg (mul [ chi.(0).(1); inv_det ]) |];
+          [| neg (mul [ chi.(1).(0); inv_det ]); mul [ chi.(0).(0); inv_det ] |];
+        |]
+      | _ -> invalid_arg "Model.mu_rhs: only K <= 3 components supported"
+    in
+    (* mobility M_ij = Σ_α D_α (∂c_α/∂μ)_ij g_α(φ)  (paper eq. 9) *)
+    let mobility =
+      Array.init km (fun i ->
+          Array.init km (fun j ->
+              add
+                (List.init p.n_phases (fun a ->
+                     let d_a = scalar ctx (Printf.sprintf "diff_%d" a) p.diffusion.(a) in
+                     let dc_dmu = diff c_of_phase.(a).(i) ~wrt:mu.(j) in
+                     mul [ d_a; dc_dmu; Energy.Functional.g phis_src.(a) ]))))
+    in
+    let phidot =
+      Array.init p.n_phases (fun a -> div (sub phis_dst.(a) phis_src.(a)) dt)
+    in
+    let divergence =
+      Array.init km (fun i ->
+          add
+            (List.init dim (fun d ->
+                 let diffusive =
+                   add (List.init km (fun j -> mul [ mobility.(i).(j); Diff (mu.(j), d) ]))
+                 in
+                 let flux =
+                   if p.anti_trapping then
+                     sub diffusive
+                       (anti_trapping ctx p ~phis:phis_src ~phidot ~c_of_phase:(fun a ->
+                            c_of_phase.(a))
+                          ~axis:d ~comp:i)
+                   else diffusive
+                 in
+                 Diff (flux, d))))
+    in
+    let coupling =
+      Array.init km (fun i ->
+          add
+            (List.init p.n_phases (fun a ->
+                 mul [ diff c_mix.(i) ~wrt:phis_src.(a); phidot.(a) ])))
+    in
+    let tdot =
+      match p.temp with
+      | Params.Const_temp _ -> zero
+      | Params.Gradient { grad; velocity; _ } -> num (-.grad *. velocity)
+    in
+    let tcoupling = Array.init km (fun i -> mul [ diff c_mix.(i) ~wrt:t_loc; tdot ]) in
+    let temp = temperature p in
+    Array.init km (fun i ->
+        let rhs =
+          add
+            (List.init km (fun j ->
+                 mul
+                   [
+                     chi_inv.(i).(j);
+                     add [ divergence.(j); neg coupling.(j); neg tcoupling.(j) ];
+                   ]))
+        in
+        subst [ (t_loc, temp) ] rhs)
+  end

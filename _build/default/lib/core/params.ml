@@ -1,0 +1,186 @@
+(** Model parameterizations.
+
+    A parameter set fixes the phase-field model instance: number of phases
+    and components, interface energies, anisotropy, kinetic coefficients,
+    the parabolic grand-potential fits (paper eq. 6, affine-linear in T) and
+    the analytic temperature field.  The paper's two benchmark instances are
+    provided as presets:
+
+    - [p1]: 4 phases, 3 components, isotropic — ternary eutectic directional
+      solidification (the setup hand-optimized in Bauer et al. 2015 [2]);
+    - [p2]: 3 phases, 2 components, cubic anisotropy with per-grain
+      orientations — binary dendritic solidification. *)
+
+type anisotropy =
+  | Iso
+  | Cubic of { delta : float; rotation : float array array option }
+
+type temperature =
+  | Const_temp of float
+  | Gradient of { t0 : float; grad : float; axis : int; velocity : float }
+      (** analytic frozen-temperature approximation
+          T(x,t) = t0 + grad * (x_axis - velocity * t) *)
+
+type t = {
+  name : string;
+  dim : int;
+  n_phases : int;
+  n_comps : int;       (** K chemical components; μ has K-1 entries *)
+  liquid : int;        (** index of the liquid phase *)
+  gamma : float array array;        (** pairwise interface energies γ_αβ *)
+  gamma3 : float;                   (** third-phase suppression γ_αβδ *)
+  aniso : anisotropy array array;   (** per-pair gradient-energy anisotropy *)
+  tau : float array array;          (** pairwise kinetic coefficients τ_αβ *)
+  eps : float;                      (** interface width scale ε *)
+  diffusion : float array;          (** per-phase diffusivity D_α *)
+  par_a0 : float array array array; (** A_α(T) = par_a0 + par_a1·T, (K-1)² *)
+  par_a1 : float array array array;
+  par_b0 : float array array;       (** B_α(T) = par_b0 + par_b1·T *)
+  par_b1 : float array array;
+  par_c0 : float array;             (** C_α(T) = par_c0 + par_c1·T *)
+  par_c1 : float array;
+  temp : temperature;
+  fluctuation : float;              (** noise amplitude, 0 disables *)
+  anti_trapping : bool;
+  dx : float;
+  dt : float;
+}
+
+let n_mu t = t.n_comps - 1
+
+let square n f = Array.init n (fun i -> Array.init n (fun j -> f i j))
+
+let rotation_z angle =
+  let c = cos angle and s = sin angle in
+  [| [| c; -.s; 0. |]; [| s; c; 0. |]; [| 0.; 0.; 1. |] |]
+
+(* A_α must be negative definite so that χ = ∂c/∂μ = −2 Σ A_α h_α is
+   positive and the μ equation is well posed. *)
+let diag_a n v = Array.init n (fun i -> Array.init n (fun j -> if i = j then v else 0.))
+
+(** P1: ternary eutectic directional solidification.  Four phases (three
+    solids α,β,γ + liquid), three components (two independent μ entries),
+    isotropic gradient energy, temperature gradient along z moving with the
+    pulling velocity.  Values are synthetic but in the non-dimensional
+    ranges used by Hötzer et al. [11]. *)
+let p1 ?(dim = 3) () =
+  let n = 4 and k = 3 in
+  let km = k - 1 in
+  let liquid = 3 in
+  let solid_b = [| [| 0.4; 0.2 |]; [| -0.3; 0.5 |]; [| -0.1; -0.6 |] |] in
+  {
+    name = "P1";
+    dim;
+    n_phases = n;
+    n_comps = k;
+    liquid;
+    gamma = square n (fun i j -> if i = j then 0. else 0.8);
+    gamma3 = 12.0;
+    aniso = square n (fun _ _ -> Iso);
+    tau = square n (fun i j -> if i = j then 0. else if i = liquid || j = liquid then 1.0 else 5.0);
+    eps = 4.0;
+    diffusion = [| 0.001; 0.001; 0.001; 1.0 |];
+    par_a0 =
+      Array.init n (fun alpha -> diag_a km (if alpha = liquid then -0.5 else -0.55));
+    par_a1 = Array.init n (fun _ -> diag_a km 0.0);
+    par_b0 =
+      Array.init n (fun alpha ->
+          if alpha = liquid then Array.make km 0.0
+          else Array.init km (fun i -> solid_b.(alpha).(i)));
+    par_b1 =
+      (* affine temperature dependence of the fits: this is what makes
+         temperature-dependent subexpressions appear in the mu kernel and
+         gives the loop-invariant hoisting its target (paper §3.4) *)
+      Array.init n (fun alpha ->
+          if alpha = liquid then Array.make km 0.0
+          else Array.init km (fun i -> 0.05 +. (0.01 *. float_of_int i)));
+    par_c0 = Array.init n (fun alpha -> if alpha = liquid then 0.0 else -0.02);
+    par_c1 = Array.init n (fun alpha -> if alpha = liquid then 0.0 else 0.04);
+    temp = Gradient { t0 = 0.5; grad = 0.001; axis = dim - 1; velocity = 0.001 };
+    fluctuation = 0.;
+    anti_trapping = true;
+    dx = 1.0;
+    dt = 0.02;
+  }
+
+(** P2: binary dendritic solidification.  Three phases (two solid grains
+    with different cubic orientations + liquid), two components (scalar μ),
+    anisotropic gradient energy on the solid–liquid pairs. *)
+let p2 ?(dim = 3) () =
+  let n = 3 and k = 2 in
+  let km = k - 1 in
+  let liquid = 2 in
+  let rot alpha =
+    if dim = 3 then Some (rotation_z (if alpha = 0 then 0. else 0.55))
+    else
+      let a = if alpha = 0 then 0. else 0.55 in
+      Some [| [| cos a; -.sin a |]; [| sin a; cos a |] |]
+  in
+  let aniso i j =
+    if i = j then Iso
+    else
+      let solid = if i = liquid then j else if j = liquid then i else -1 in
+      if solid >= 0 then Cubic { delta = 0.3; rotation = rot solid } else Iso
+  in
+  {
+    name = "P2";
+    dim;
+    n_phases = n;
+    n_comps = k;
+    liquid;
+    gamma = square n (fun i j -> if i = j then 0. else if i = liquid || j = liquid then 0.5 else 1.0);
+    gamma3 = 10.0;
+    aniso = square n aniso;
+    tau = square n (fun i j -> if i = j then 0. else 1.0);
+    eps = 4.0;
+    diffusion = [| 0.001; 0.001; 1.0 |];
+    par_a0 = Array.init n (fun _ -> diag_a km (-0.5));
+    par_a1 = Array.init n (fun _ -> diag_a km 0.0);
+    par_b0 =
+      Array.init n (fun alpha -> if alpha = liquid then [| 0.0 |] else [| 0.2 |]);
+    par_b1 = Array.init n (fun _ -> Array.make km 0.0);
+    par_c0 = Array.init n (fun alpha -> if alpha = liquid then 0.0 else -0.55);
+    par_c1 = Array.init n (fun alpha -> if alpha = liquid then 0.0 else 0.6);
+    temp = Gradient { t0 = 0.4; grad = 0.0005; axis = dim - 1; velocity = 0.002 };
+    fluctuation = 0.01;
+    anti_trapping = true;
+    dx = 1.0;
+    dt = 0.02;
+  }
+
+(** Two-phase isotropic toy model (mean-curvature flow): no chemistry, no
+    driving force — the quickstart example and a sharp correctness anchor
+    (a spherical inclusion must shrink). *)
+let curvature ?(dim = 2) () =
+  let n = 2 and k = 1 in
+  {
+    name = "curvature";
+    dim;
+    n_phases = n;
+    n_comps = k;
+    liquid = 1;
+    gamma = square n (fun i j -> if i = j then 0. else 1.0);
+    gamma3 = 0.;
+    aniso = square n (fun _ _ -> Iso);
+    tau = square n (fun _ _ -> 1.0);
+    eps = 4.0;
+    diffusion = Array.make n 1.0;
+    par_a0 = Array.init n (fun _ -> [||]);
+    par_a1 = Array.init n (fun _ -> [||]);
+    par_b0 = Array.init n (fun _ -> [||]);
+    par_b1 = Array.init n (fun _ -> [||]);
+    par_c0 = Array.make n 0.;
+    par_c1 = Array.make n 0.;
+    temp = Const_temp 1.0;
+    fluctuation = 0.;
+    anti_trapping = false;
+    dx = 1.0;
+    dt = 0.05;
+  }
+
+(** Number of configuration parameters the model instance fixes at compile
+    time (paper §5.1: 2(N²+N+1) for the driving force plus N(K−1)² for the
+    mobilities, >50 for P1). *)
+let config_parameter_count t =
+  let n = t.n_phases and km = n_mu t in
+  (2 * ((n * n) + n + 1)) + (n * km * km)

@@ -1,0 +1,178 @@
+(** Simulation setup and analysis: initial conditions for the paper's two
+    physical scenarios (ternary eutectic lamellae, dendritic seeds), a
+    curvature-flow correctness anchor, and observables used by the examples
+    and tests (phase fractions, front position, interface extent). *)
+
+let phi_buffer (t : Timestep.t) = Vm.Engine.buffer t.block t.gen.Genkernels.fields.phi_src
+let mu_buffer (t : Timestep.t) = Vm.Engine.buffer t.block t.gen.Genkernels.fields.mu_src
+let phi_dst_buffer (t : Timestep.t) = Vm.Engine.buffer t.block t.gen.Genkernels.fields.phi_dst
+
+let fill_mu (t : Timestep.t) value =
+  if Params.n_mu t.gen.Genkernels.params > 0 then begin
+    Vm.Buffer.init (mu_buffer t) (fun _ _ -> value);
+    (* dst starts as a copy so that φ-kernel reads of μ ghosts are sane *)
+    Vm.Buffer.init (Vm.Engine.buffer t.block t.gen.Genkernels.fields.mu_dst) (fun _ _ -> value)
+  end
+
+(* Initial conditions are functions of *global* coordinates so that a
+   multi-block decomposition reproduces the single-block state bit for
+   bit. *)
+let set_phase_field (t : Timestep.t) choose =
+  let n = t.gen.Genkernels.params.Params.n_phases in
+  let offset = t.block.Vm.Engine.offset in
+  let assign buf =
+    Vm.Buffer.init buf (fun coords c ->
+        let global = Array.mapi (fun d x -> x + offset.(d)) coords in
+        if c = choose global && c < n then 1. else 0.)
+  in
+  assign (phi_buffer t);
+  assign (phi_dst_buffer t)
+
+(** A solid sphere of phase 0 embedded in phase 1 (mean-curvature flow:
+    the sphere must shrink). *)
+let init_sphere ?(radius_frac = 0.3) (t : Timestep.t) =
+  let dims = t.block.Vm.Engine.global_dims in
+  let dim = Array.length dims in
+  let center = Array.map (fun n -> float_of_int n /. 2.) dims in
+  let radius = radius_frac *. float_of_int dims.(0) in
+  set_phase_field t (fun coords ->
+      let r2 = ref 0. in
+      for d = 0 to dim - 1 do
+        let dx = float_of_int coords.(d) +. 0.5 -. center.(d) in
+        r2 := !r2 +. (dx *. dx)
+      done;
+      if sqrt !r2 < radius then 0 else 1);
+  fill_mu t 0.;
+  Timestep.prime t
+
+(** Eutectic lamellae: alternating solid phases below [height_frac] along
+    the temperature axis, liquid above — the P1 scenario. *)
+let init_lamellae ?(height_frac = 0.3) ?(lamella_width = 8) (t : Timestep.t) =
+  let p = t.gen.Genkernels.params in
+  let dims = t.block.Vm.Engine.global_dims in
+  let axis = match p.Params.temp with Params.Gradient g -> g.axis | _ -> p.Params.dim - 1 in
+  let z0 = int_of_float (height_frac *. float_of_int dims.(axis)) in
+  let solids = p.Params.n_phases - 1 in
+  set_phase_field t (fun coords ->
+      if coords.(axis) >= z0 then p.Params.liquid
+      else coords.(0) / lamella_width mod solids);
+  fill_mu t 0.;
+  Timestep.prime t
+
+(** Spherical solid seeds at given positions (phase per seed), rest liquid —
+    the P2 dendrite scenario. *)
+let init_seeds ~seeds ~radius (t : Timestep.t) =
+  let p = t.gen.Genkernels.params in
+  let dim = p.Params.dim in
+  set_phase_field t (fun coords ->
+      let in_seed (pos, _) =
+        let r2 = ref 0. in
+        for d = 0 to dim - 1 do
+          let dx = float_of_int coords.(d) +. 0.5 -. float_of_int (Array.get pos d) in
+          r2 := !r2 +. (dx *. dx)
+        done;
+        sqrt !r2 < radius
+      in
+      match List.find_opt in_seed seeds with
+      | Some (_, phase) -> phase
+      | None -> p.Params.liquid);
+  fill_mu t 0.;
+  Timestep.prime t
+
+(* ------------------------------------------------------------------ *)
+(* Observables                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cells (t : Timestep.t) = float_of_int (Timestep.lups_per_step t)
+
+(** Volume fraction of each phase. *)
+let phase_fractions (t : Timestep.t) =
+  let buf = phi_buffer t in
+  Array.init t.gen.Genkernels.params.Params.n_phases (fun c ->
+      Vm.Buffer.interior_sum ~component:c buf /. cells t)
+
+(** Diffuse-interface volume: fraction of cells with any 0.01<φ<0.99. *)
+let interface_fraction (t : Timestep.t) =
+  let buf = phi_buffer t in
+  let dims = t.block.Vm.Engine.dims in
+  let dim = Array.length dims in
+  let coords = Array.make dim 0 in
+  let count = ref 0 in
+  let rec loop d =
+    if d = dim then begin
+      let diffuse = ref false in
+      for c = 0 to t.gen.Genkernels.params.Params.n_phases - 1 do
+        let v = Vm.Buffer.get buf ~component:c coords in
+        if v > 0.01 && v < 0.99 then diffuse := true
+      done;
+      if !diffuse then incr count
+    end
+    else
+      for i = 0 to dims.(d) - 1 do
+        coords.(d) <- i;
+        loop (d + 1)
+      done
+  in
+  loop 0;
+  float_of_int !count /. cells t
+
+(** Mean position of the solid–liquid front along [axis]: solid-weighted
+    average coordinate of 1 − φ_liquid. *)
+let front_position ?axis (t : Timestep.t) =
+  let p = t.gen.Genkernels.params in
+  let axis = Option.value axis ~default:(p.Params.dim - 1) in
+  let buf = phi_buffer t in
+  let dims = t.block.Vm.Engine.dims in
+  let dim = Array.length dims in
+  let coords = Array.make dim 0 in
+  let weight = ref 0. and moment = ref 0. in
+  let rec loop d =
+    if d = dim then begin
+      let solid = 1. -. Vm.Buffer.get buf ~component:p.Params.liquid coords in
+      weight := !weight +. solid;
+      moment := !moment +. (solid *. (float_of_int coords.(axis) +. 0.5))
+    end
+    else
+      for i = 0 to dims.(d) - 1 do
+        coords.(d) <- i;
+        loop (d + 1)
+      done
+  in
+  loop 0;
+  if !weight = 0. then 0. else !moment /. !weight
+
+(** Highest cell along [axis] where any solid phase exceeds 1/2 — the
+    dendrite tip position. *)
+let tip_position ?axis (t : Timestep.t) =
+  let p = t.gen.Genkernels.params in
+  let axis = Option.value axis ~default:(p.Params.dim - 1) in
+  let buf = phi_buffer t in
+  let dims = t.block.Vm.Engine.dims in
+  let dim = Array.length dims in
+  let coords = Array.make dim 0 in
+  let tip = ref (-1) in
+  let rec loop d =
+    if d = dim then begin
+      let solid = 1. -. Vm.Buffer.get buf ~component:p.Params.liquid coords in
+      if solid > 0.5 && coords.(axis) > !tip then tip := coords.(axis)
+    end
+    else
+      for i = 0 to dims.(d) - 1 do
+        coords.(d) <- i;
+        loop (d + 1)
+      done
+  in
+  loop 0;
+  !tip
+
+(** Range check: all φ within the simplex (after projection) and finite. *)
+let check_sane (t : Timestep.t) =
+  let buf = phi_buffer t in
+  Array.for_all Float.is_finite buf.Vm.Buffer.data
+  &&
+  let ok = ref true in
+  Array.iter
+    (fun v -> if v < -1e-9 || v > 1. +. 1e-9 then ok := false)
+    buf.Vm.Buffer.data;
+  !ok
+

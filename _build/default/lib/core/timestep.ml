@@ -1,0 +1,126 @@
+(** Time stepping (paper Algorithm 1).
+
+    One step runs, on a block:
+
+    + φ kernel (full, or staggered pass + main pass for the split variant),
+    + Gibbs-simplex projection of the updated phase field,
+    + ghost-layer exchange / boundary handling of φ_dst,
+    + μ kernel (full or split),
+    + ghost-layer exchange of μ_dst,
+    + src ↔ dst buffer swap.
+
+    The exchange is pluggable: the default closes the block periodically; the
+    [Blocks] library substitutes real inter-block communication. *)
+
+open Symbolic
+
+type variant = Full | Split
+
+type t = {
+  gen : Genkernels.t;
+  block : Vm.Engine.block;
+  variant_phi : variant;
+  variant_mu : variant;
+  num_domains : int;
+  exchange : Vm.Engine.block -> Fieldspec.t -> unit;
+  phi_full : Vm.Engine.bound;
+  phi_stag : Vm.Engine.bound;
+  phi_main : Vm.Engine.bound;
+  mu_full : Vm.Engine.bound option;
+  mu_stag : Vm.Engine.bound option;
+  mu_main : Vm.Engine.bound option;
+  projection : Vm.Engine.bound;
+  mutable step_count : int;
+  mutable time : float;
+}
+
+let default_exchange block (f : Fieldspec.t) = Vm.Buffer.periodic (Vm.Engine.buffer block f)
+
+let field_list (g : Genkernels.t) =
+  let f = g.fields in
+  [ f.phi_src; f.phi_dst; f.mu_src; f.mu_dst; f.phi_stag; f.mu_stag ]
+
+(** Build a simulation block and bind all kernels of the chosen variants. *)
+let create ?(variant_phi = Full) ?(variant_mu = Full) ?(num_domains = 1)
+    ?(exchange = default_exchange) ?global_dims ?offset ~dims (gen : Genkernels.t) =
+  let block = Vm.Engine.make_block ~ghost:2 ?global_dims ?offset ~dims (field_list gen) in
+  let bind k = Vm.Engine.bind k block in
+  {
+    gen;
+    block;
+    variant_phi;
+    variant_mu;
+    num_domains;
+    exchange;
+    phi_full = bind gen.phi_full;
+    phi_stag = bind gen.phi_split.stag;
+    phi_main = bind gen.phi_split.main;
+    mu_full = Option.map bind gen.mu_full;
+    mu_stag = Option.map (fun (p : Genkernels.pair) -> bind p.stag) gen.mu_split;
+    mu_main = Option.map (fun (p : Genkernels.pair) -> bind p.main) gen.mu_split;
+    projection = bind gen.projection;
+    step_count = 0;
+    time = 0.;
+  }
+
+let runtime_params t =
+  let p = t.gen.Genkernels.params in
+  ("t", t.time) :: ("dx", p.Params.dx) :: ("dt", p.Params.dt) :: t.gen.Genkernels.bindings
+
+(** Exchange ghosts of the source fields — required once after initial
+    conditions are written. *)
+let prime t =
+  t.exchange t.block t.gen.Genkernels.fields.phi_src;
+  if Params.n_mu t.gen.Genkernels.params > 0 then
+    t.exchange t.block t.gen.Genkernels.fields.mu_src
+
+let run_kernel t bound =
+  Vm.Engine.run ~num_domains:t.num_domains ~step:t.step_count
+    ~params:(runtime_params t) bound
+
+let has_mu t = Params.n_mu t.gen.Genkernels.params > 0
+
+(** Phase 1: φ kernel(s) and the simplex projection (Algorithm 1, line 1). *)
+let phase_phi t =
+  (match t.variant_phi with
+  | Full -> run_kernel t t.phi_full
+  | Split ->
+    run_kernel t t.phi_stag;
+    run_kernel t t.phi_main);
+  run_kernel t t.projection
+
+(** Phase 2: μ kernel(s) (Algorithm 1, line 3); requires φ_dst ghosts. *)
+let phase_mu t =
+  match (t.variant_mu, t.mu_full, t.mu_stag, t.mu_main) with
+  | _, None, _, _ -> ()
+  | Full, Some mu, _, _ -> run_kernel t mu
+  | Split, _, Some stag, Some main ->
+    run_kernel t stag;
+    run_kernel t main
+  | Split, _, _, _ -> assert false
+
+(** Phase 3: src ↔ dst swap and time advance (Algorithm 1, line 5). *)
+let finish t =
+  let f = t.gen.Genkernels.fields in
+  Vm.Buffer.swap (Vm.Engine.buffer t.block f.phi_src) (Vm.Engine.buffer t.block f.phi_dst);
+  if has_mu t then
+    Vm.Buffer.swap (Vm.Engine.buffer t.block f.mu_src) (Vm.Engine.buffer t.block f.mu_dst);
+  t.step_count <- t.step_count + 1;
+  t.time <- t.time +. t.gen.Genkernels.params.Params.dt
+
+(** Advance one time step (Algorithm 1), single-block version. *)
+let step t =
+  let f = t.gen.Genkernels.fields in
+  phase_phi t;
+  t.exchange t.block f.phi_dst;
+  phase_mu t;
+  if has_mu t then t.exchange t.block f.mu_dst;
+  finish t
+
+let run t ~steps =
+  for _ = 1 to steps do
+    step t
+  done
+
+(** Cells updated per full time step (for MLUP/s reporting). *)
+let lups_per_step t = Array.fold_left ( * ) 1 t.block.Vm.Engine.dims

@@ -1,0 +1,59 @@
+(** Legacy-VTK output of simulation fields.
+
+    waLBerla ships dedicated post-processing / I/O for phase-field runs
+    (paper §4.1); this is the minimal equivalent a downstream user needs:
+    structured-points files of the phase fields (one scalar per phase plus
+    the dominant-phase index), loadable in ParaView. *)
+
+let write_scalars oc name values =
+  Printf.fprintf oc "SCALARS %s double 1\nLOOKUP_TABLE default\n" name;
+  List.iter (fun v -> Printf.fprintf oc "%.6g\n" v) (List.rev values)
+
+(** Write the φ field of a simulation block to [path] (legacy VTK ASCII,
+    STRUCTURED_POINTS).  Works for 2D (written as a one-cell-thick volume)
+    and 3D blocks. *)
+let write_phi (t : Timestep.t) path =
+  let p = t.gen.Genkernels.params in
+  let buf = Simulation.phi_buffer t in
+  let dims = t.block.Vm.Engine.dims in
+  let dim = Array.length dims in
+  let nx = dims.(0) in
+  let ny = if dim > 1 then dims.(1) else 1 in
+  let nz = if dim > 2 then dims.(2) else 1 in
+  let oc = open_out path in
+  Printf.fprintf oc "# vtk DataFile Version 3.0\npfgen phase field (%s)\nASCII\n" p.Params.name;
+  Printf.fprintf oc "DATASET STRUCTURED_POINTS\nDIMENSIONS %d %d %d\n" nx ny nz;
+  Printf.fprintf oc "ORIGIN 0 0 0\nSPACING %g %g %g\n" p.Params.dx p.Params.dx p.Params.dx;
+  Printf.fprintf oc "POINT_DATA %d\n" (nx * ny * nz);
+  let coords = Array.make dim 0 in
+  let collect f =
+    let acc = ref [] in
+    for z = 0 to nz - 1 do
+      for y = 0 to ny - 1 do
+        for x = 0 to nx - 1 do
+          coords.(0) <- x;
+          if dim > 1 then coords.(1) <- y;
+          if dim > 2 then coords.(2) <- z;
+          acc := f coords :: !acc
+        done
+      done
+    done;
+    !acc
+  in
+  for c = 0 to p.Params.n_phases - 1 do
+    write_scalars oc
+      (Printf.sprintf "phi_%d" c)
+      (collect (fun coords -> Vm.Buffer.get buf ~component:c coords))
+  done;
+  write_scalars oc "dominant_phase"
+    (collect (fun coords ->
+         let best = ref 0 and bv = ref neg_infinity in
+         for c = 0 to p.Params.n_phases - 1 do
+           let v = Vm.Buffer.get buf ~component:c coords in
+           if v > !bv then begin
+             bv := v;
+             best := c
+           end
+         done;
+         float_of_int !best));
+  close_out oc

@@ -1,0 +1,1 @@
+lib/energy/functional.ml: Array Expr Float List Symbolic

@@ -1,0 +1,1 @@
+lib/energy/varder.ml: Expr List Symbolic

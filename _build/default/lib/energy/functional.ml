@@ -1,0 +1,141 @@
+(** Building blocks of the grand-potential phase-field energy functional
+    (paper §3.1, following Hötzer et al. [11] and Choudhury & Nestler [27]):
+
+      Ψ(φ, μ, T) = ∫ ε a(φ,∇φ) + ω(φ)/ε + ψ(φ,μ,T) dV
+
+    with gradient energy density [a], multi-obstacle potential [ω] and a
+    grand-potential driving force [ψ] built from per-phase parabolic fits of
+    CALPHAD data. *)
+
+open Symbolic
+open Expr
+
+(* ------------------------------------------------------------------ *)
+(* Interpolation functions                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** [h x = x²(3 − 2x)]: zero slope at 0 and 1, h(0)=0, h(1)=1 — used to
+    interpolate the grand potentials. *)
+let h x = mul [ sq x; sub (num 3.) (mul [ num 2.; x ]) ]
+
+(** Simpler interpolation used for the mobility (paper: "not interpolated
+    with h_α, but rather with a simpler interpolation function g_α"). *)
+let g x = x
+
+(* ------------------------------------------------------------------ *)
+(* Gradient energy                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type anisotropy =
+  | Isotropic
+  | Cubic of {
+      delta : Expr.t;                   (** anisotropy strength δ *)
+      rotation : float array array option;  (** grain orientation, unitary *)
+    }
+
+(** Generalized gradient q_αβ = φ_α ∇φ_β − φ_β ∇φ_α (one entry per axis). *)
+let generalized_gradient ~dim phi_a phi_b =
+  List.init dim (fun d ->
+      sub (mul [ phi_a; Diff (phi_b, d) ]) (mul [ phi_b; Diff (phi_a, d) ]))
+
+let rotate_vector rotation q =
+  match rotation with
+  | None -> q
+  | Some r ->
+    List.mapi
+      (fun i _ ->
+        add (List.mapi (fun j qj -> mul [ num r.(i).(j); qj ]) q))
+      q
+
+(** Cubic-harmonic anisotropy function of a (rotated) direction vector:
+    A(q) = 1 − δ (3 − 4 Σ_d q_d⁴ / (Σ_d q_d²)²), guarded to 1 in the bulk
+    where |q|² vanishes.  The norm uses the unrotated q (rotations are
+    unitary). *)
+let cubic_anisotropy ~delta ~rotation q ~norm_sq =
+  let qr = rotate_vector rotation q in
+  let quartic = add (List.map (fun qd -> pow qd 4) qr) in
+  let aniso =
+    sub one (mul [ delta; sub (num 3.) (mul [ num 4.; quartic; pow norm_sq (-2) ]) ])
+  in
+  select (Le (norm_sq, sym "q_eps")) one aniso
+
+(** Gradient energy density
+    a(φ,∇φ) = Σ_{α<β} γ_αβ A_αβ(R q_αβ)² |q_αβ|²  (paper eq. 4). *)
+let gradient_energy ~dim ~gamma ~aniso ~phis =
+  let n = Array.length phis in
+  let pairs = ref [] in
+  for beta = n - 1 downto 0 do
+    for alpha = beta - 1 downto 0 do
+      let q = generalized_gradient ~dim phis.(alpha) phis.(beta) in
+      let norm_sq = add (List.map sq q) in
+      let a_factor =
+        match aniso alpha beta with
+        | Isotropic -> one
+        | Cubic { delta; rotation } -> cubic_anisotropy ~delta ~rotation q ~norm_sq
+      in
+      pairs := mul [ gamma alpha beta; sq a_factor; norm_sq ] :: !pairs
+    done
+  done;
+  add !pairs
+
+(* ------------------------------------------------------------------ *)
+(* Obstacle potential                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Multi-obstacle potential (paper eq. 5)
+    ω(φ) = 16/π² Σ_{α<β} γ_αβ φ_α φ_β + Σ_{α<β<δ} γ_αβδ φ_α φ_β φ_δ.
+    The simplex constraint φ ∈ G is enforced by projection after the update
+    (see [Core.Timestep]). *)
+let obstacle ~gamma ~gamma3 ~phis =
+  let n = Array.length phis in
+  let two_phase = ref [] in
+  for beta = n - 1 downto 0 do
+    for alpha = beta - 1 downto 0 do
+      two_phase := mul [ gamma alpha beta; phis.(alpha); phis.(beta) ] :: !two_phase
+    done
+  done;
+  let three_phase = ref [] in
+  for d = n - 1 downto 0 do
+    for beta = d - 1 downto 0 do
+      for alpha = beta - 1 downto 0 do
+        three_phase :=
+          mul [ gamma3 alpha beta d; phis.(alpha); phis.(beta); phis.(d) ] :: !three_phase
+      done
+    done
+  done;
+  add
+    [
+      mul [ num (16. /. (Float.pi *. Float.pi)); add !two_phase ];
+      (match !three_phase with [] -> zero | ts -> add ts);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Grand potential driving force                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-phase parabolic grand potential fit (paper eq. 6):
+    ψ_α(μ,T) = μ·A_α μ + B_α·μ + C_α, with A, B, C affine-linear in T
+    supplied by the caller (as expressions of the symbol/expression T). *)
+let parabolic_potential ~a ~b ~c ~mu =
+  let k = Array.length mu in
+  let quad = ref [] in
+  for i = k - 1 downto 0 do
+    for j = k - 1 downto 0 do
+      quad := mul [ mu.(i); a.(i).(j); mu.(j) ] :: !quad
+    done
+  done;
+  let lin = Array.to_list (Array.mapi (fun i bi -> mul [ bi; mu.(i) ]) b) in
+  add ((c :: lin) @ !quad)
+
+(** Concentration vector of one phase, c_α = −∂ψ_α/∂μ = −(2 A_α μ + B_α). *)
+let concentration ~a ~b ~mu =
+  Array.init (Array.length mu)
+    (fun i ->
+      neg
+        (add
+           (b.(i)
+           :: List.init (Array.length mu) (fun j -> mul [ num 2.; a.(i).(j); mu.(j) ]))))
+
+(** Driving force ψ(φ,μ,T) = Σ_α ψ_α(μ,T) h_α(φ). *)
+let driving_force ~psis ~phis =
+  add (Array.to_list (Array.mapi (fun alpha psi -> mul [ psi; h phis.(alpha) ]) psis))

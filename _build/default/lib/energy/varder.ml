@@ -1,0 +1,35 @@
+(** Variational (functional) derivatives.
+
+    For an energy density [psi(u, ∇u)] the Euler–Lagrange / variational
+    derivative with respect to the field component [u] is
+
+      δΨ/δu = ∂psi/∂u − Σ_d ∂_d ( ∂psi/∂(∂_d u) )
+
+    Gradient components [Diff (u, d)] are treated as independent atoms while
+    differentiating (sympy's Derivative-as-symbol trick, paper §3.1).  The
+    outer spatial derivative is kept as an un-expanded [Diff] node wrapping
+    the whole flux so that the discretizer can apply the staggered
+    divergence-of-fluxes scheme to it. *)
+
+open Symbolic
+open Expr
+
+(** [run ~dim density ~wrt] computes δ(∫ density)/δ[wrt], where [wrt] is a
+    field-access expression (the field component varied). *)
+let run ~dim density ~wrt =
+  let bulk = diff density ~wrt in
+  let divergence =
+    List.init dim (fun d ->
+        let flux = diff density ~wrt:(Diff (wrt, d)) in
+        if equal flux zero then zero else neg (Diff (flux, d)))
+  in
+  add (bulk :: divergence)
+
+(** Gradient vector of a field-access expression. *)
+let grad ~dim u = List.init dim (fun d -> Diff (u, d))
+
+(** Squared gradient magnitude |∇u|². *)
+let grad_sq ~dim u = add (List.map sq (grad ~dim u))
+
+(** Dot product of two gradient-like vectors. *)
+let dot a b = add (List.map2 (fun x y -> mul [ x; y ]) a b)

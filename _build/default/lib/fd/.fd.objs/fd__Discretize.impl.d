@@ -1,0 +1,1 @@
+lib/fd/discretize.ml: Array Expr Field Fieldspec Hashtbl List Symbolic

@@ -1,0 +1,226 @@
+(** Finite-difference discretization (paper §3.3).
+
+    Transforms continuous PDE right-hand sides ([Expr.Diff] nodes over field
+    accesses) into stencil expressions with integer offsets:
+
+    - first-order derivatives of locally evaluated terms become central
+      differences;
+    - divergence terms [Diff (flux, d)] whose flux itself contains
+      derivatives are discretized in divergence-of-fluxes form: the flux is
+      evaluated at the two staggered (face) positions along [d] and
+      differenced.  At a staggered position, same-axis inner derivatives
+      become compact two-point differences, cross-axis inner derivatives
+      become averaged central differences (paper eq. 11), and cell-centered
+      quantities are linearly interpolated;
+    - optionally, staggered flux values are hoisted into a separate
+      precomputation kernel over a staggered temporary field (the "split"
+      kernel variants). *)
+
+open Symbolic
+open Expr
+
+type scheme = {
+  dx : Expr.t;  (** grid spacing (uniform); a symbol or a frozen number *)
+  dim : int;
+}
+
+let create ?(dx = sym "dx") ~dim () = { dx; dim }
+
+let contains_diff e =
+  fold (fun found n -> found || match n with Diff _ -> true | _ -> false) false e
+
+(** Shift every field access and coordinate of [e] by [k] cells along
+    [axis].  Inner [Diff] nodes shift transparently (their operand moves). *)
+let rec shift_expr scheme e axis k =
+  if k = 0 then e
+  else
+    match e with
+    | Num _ | Sym _ | Rand _ -> e
+    | Coord d when d = axis -> add [ Coord d; mul [ int_num k; scheme.dx ] ]
+    | Coord _ -> e
+    | Access a -> access (Fieldspec.shift a axis k)
+    | Diff (x, d) -> Diff (shift_expr scheme x axis k, d)
+    | Add xs -> add (List.map (fun x -> shift_expr scheme x axis k) xs)
+    | Mul xs -> mul (List.map (fun x -> shift_expr scheme x axis k) xs)
+    | Pow (b, n) -> pow (shift_expr scheme b axis k) n
+    | Fun (f, xs) -> fn f (List.map (fun x -> shift_expr scheme x axis k) xs)
+    | Select (c, t, f) ->
+      let sc = function
+        | Lt (a, b) -> Lt (shift_expr scheme a axis k, shift_expr scheme b axis k)
+        | Le (a, b) -> Le (shift_expr scheme a axis k, shift_expr scheme b axis k)
+      in
+      select (sc c) (shift_expr scheme t axis k) (shift_expr scheme f axis k)
+
+(** Second-order central difference of an already-discretized expression. *)
+let central scheme e axis =
+  div (sub (shift_expr scheme e axis 1) (shift_expr scheme e axis (-1))) (mul [ num 2.; scheme.dx ])
+
+(** Evaluate [e] at the staggered position half a cell up along [axis]
+    (the face between the current cell and its [+axis] neighbour). *)
+let rec stag_eval scheme e axis =
+  match e with
+  | Num _ | Sym _ | Rand _ -> e
+  | Coord d when d = axis -> add [ Coord d; mul [ num 0.5; scheme.dx ] ]
+  | Coord _ -> e
+  | Access a ->
+    (* interpolate cell-centered values to the face *)
+    mul [ num 0.5; add [ access a; access (Fieldspec.shift a axis 1) ] ]
+  | Diff (g, d) when d = axis ->
+    (* compact two-point difference across the face *)
+    let g = discretize_inner scheme g in
+    div (sub (shift_expr scheme g axis 1) g) scheme.dx
+  | Diff (g, d) ->
+    (* cross derivative: average the central differences of the two cells
+       adjacent to the face (paper eq. 11, second line) *)
+    let g = discretize_inner scheme g in
+    let cd = central scheme g d in
+    mul [ num 0.5; add [ cd; shift_expr scheme cd axis 1 ] ]
+  | Add xs -> add (List.map (fun x -> stag_eval scheme x axis) xs)
+  | Mul xs -> mul (List.map (fun x -> stag_eval scheme x axis) xs)
+  | Pow (b, n) -> pow (stag_eval scheme b axis) n
+  | Fun (f, xs) -> fn f (List.map (fun x -> stag_eval scheme x axis) xs)
+  | Select (c, t, f) ->
+    let sc = function
+      | Lt (a, b) -> Lt (stag_eval scheme a axis, stag_eval scheme b axis)
+      | Le (a, b) -> Le (stag_eval scheme a axis, stag_eval scheme b axis)
+    in
+    select (sc c) (stag_eval scheme t axis) (stag_eval scheme f axis)
+
+(* Discretize derivatives nested inside a flux (no further divergence level
+   is expected below a flux). *)
+and discretize_inner scheme e =
+  match e with
+  | Diff (g, d) -> central scheme (discretize_inner scheme g) d
+  | Num _ | Sym _ | Coord _ | Access _ | Rand _ -> e
+  | Add xs -> add (List.map (discretize_inner scheme) xs)
+  | Mul xs -> mul (List.map (discretize_inner scheme) xs)
+  | Pow (b, n) -> pow (discretize_inner scheme b) n
+  | Fun (f, xs) -> fn f (List.map (discretize_inner scheme) xs)
+  | Select (c, t, f) ->
+    let sc = function
+      | Lt (a, b) -> Lt (discretize_inner scheme a, discretize_inner scheme b)
+      | Le (a, b) -> Le (discretize_inner scheme a, discretize_inner scheme b)
+    in
+    select (sc c) (discretize_inner scheme t) (discretize_inner scheme f)
+
+(** Flux value at the *lower* face of the current cell along [axis] — the
+    value the split kernels store in the staggered temporary field. *)
+let flux_at_lower_face scheme flux axis = shift_expr scheme (stag_eval scheme flux axis) axis (-1)
+
+(** Full (single-pass) discretization: every [Diff] node is eliminated.
+    Divergences of derivative-bearing fluxes use the staggered scheme with
+    fluxes recomputed inline at both faces; everything else becomes central
+    differences. *)
+let rec discretize scheme e =
+  match e with
+  | Diff (flux, d) when contains_diff flux ->
+    let upper = stag_eval scheme flux d in
+    let lower = shift_expr scheme upper d (-1) in
+    div (sub upper lower) scheme.dx
+  | Diff (g, d) -> central scheme (discretize scheme g) d
+  | Num _ | Sym _ | Coord _ | Access _ | Rand _ -> e
+  | Add xs -> add (List.map (discretize scheme) xs)
+  | Mul xs -> mul (List.map (discretize scheme) xs)
+  | Pow (b, n) -> pow (discretize scheme b) n
+  | Fun (f, xs) -> fn f (List.map (discretize scheme) xs)
+  | Select (c, t, f) ->
+    let sc = function
+      | Lt (a, b) -> Lt (discretize scheme a, discretize scheme b)
+      | Le (a, b) -> Le (discretize scheme a, discretize scheme b)
+    in
+    select (sc c) (discretize scheme t) (discretize scheme f)
+
+(** Registry of staggered flux slots used by the split kernel variants.
+
+    Several PDEs of one kernel share flux terms (the Lagrange multiplier of
+    the Allen–Cahn system repeats every phase's divergence), so staggered
+    components are allocated through a registry that dedupes structurally
+    identical (flux, axis) pairs. *)
+type stag_registry = {
+  stag : Fieldspec.t;
+  table : (Expr.t * int, Fieldspec.access) Hashtbl.t;
+  mutable assignments : Field.Assignment.t list;  (* reversed *)
+  next : int array;  (** next free component, per axis *)
+}
+
+let make_registry stag =
+  {
+    stag;
+    table = Hashtbl.create 16;
+    assignments = [];
+    next = Array.make stag.Fieldspec.dim 0;
+  }
+
+let registry_kernel_body r = List.rev r.assignments
+
+let is_divergence = function Diff (f, _) -> contains_diff f | _ -> false
+
+let contains_divergence e = fold (fun found n -> found || is_divergence n) false e
+
+(** Split discretization of one PDE right-hand side.
+
+    Top-level divergence terms are rewritten to read the registry's
+    staggered temporary field: the main expression becomes
+    [(stag@upper_face − stag@lower_face) / dx], and the flux evaluation at
+    the lower cell face is recorded as a staggered kernel assignment.
+    Everything else is discretized as in the full variant. *)
+let discretize_split scheme ~(registry : stag_registry) e =
+  let slot flux d =
+    match Hashtbl.find_opt registry.table (flux, d) with
+    | Some acc -> acc
+    | None ->
+      let comp = registry.next.(d) in
+      if comp >= registry.stag.Fieldspec.components then
+        invalid_arg "Discretize.discretize_split: staggered field has too few components";
+      registry.next.(d) <- comp + 1;
+      let zero_off = Array.make scheme.dim 0 in
+      let lower = Fieldspec.staggered_access ~component:comp registry.stag zero_off ~axis:d in
+      registry.assignments <-
+        Field.Assignment.store lower (flux_at_lower_face scheme flux d) :: registry.assignments;
+      Hashtbl.add registry.table (flux, d) lower;
+      lower
+  in
+  let rec go e =
+    match e with
+    | Diff (flux, d) when contains_diff flux ->
+      let lower = slot flux d in
+      let upper = Fieldspec.shift lower d 1 in
+      div (sub (access upper) (access lower)) scheme.dx
+    | e when not (contains_divergence e) -> discretize scheme e
+    | Add xs -> add (List.map go xs)
+    | Mul xs -> mul (List.map go xs)
+    | Pow (b, n) -> pow (go b) n
+    | Fun (f, xs) -> fn f (List.map go xs)
+    | Select (c, t, f) ->
+      let sc = function
+        | Lt (a, b) -> Lt (go a, go b)
+        | Le (a, b) -> Le (go a, go b)
+      in
+      select (sc c) (go t) (go f)
+    | Diff (g, d) -> central scheme (go g) d
+    | (Num _ | Sym _ | Coord _ | Access _ | Rand _) as e -> e
+  in
+  go e
+
+(** Explicit Euler time stepping: [dst = src + dt * rhs]. *)
+let explicit_euler ~dt ~src ~dst rhs =
+  Field.Assignment.store dst (add [ access src; mul [ dt; rhs ] ])
+
+(** Cells touched by an assignment list, per axis, as (min, max) offsets —
+    determines the required ghost layers. *)
+let extent assignments =
+  let accs = Field.Assignment.loads assignments in
+  match accs with
+  | [] -> [||]
+  | first :: _ ->
+    let dim = Array.length first.Fieldspec.offsets in
+    let lo = Array.make dim 0 and hi = Array.make dim 0 in
+    List.iter
+      (fun (a : Fieldspec.access) ->
+        Array.iteri
+          (fun d o ->
+            if o < lo.(d) then lo.(d) <- o;
+            if o > hi.(d) then hi.(d) <- o)
+          a.offsets)
+      accs;
+    Array.init dim (fun d -> (lo.(d), hi.(d)))

@@ -1,0 +1,1 @@
+lib/field/assignment.ml: Cse Expr Fieldspec Fmt Hashtbl List Printf Simplify Stdlib Symbolic

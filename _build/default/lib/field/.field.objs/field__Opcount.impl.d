@@ -1,0 +1,1 @@
+lib/field/opcount.ml: Assignment Expr Fmt List Symbolic

@@ -1,0 +1,98 @@
+(** Assignment lists — the stencil representation of a kernel.
+
+    A kernel body is a list of assignments executed for every cell.
+    Left-hand sides are either writes to a field (at a relative offset,
+    usually the center) or single-assignment temporary symbols (the list is
+    in SSA form, paper §3.4). *)
+
+open Symbolic
+
+type lhs =
+  | Temp of string                 (** SSA temporary *)
+  | Store of Fieldspec.access      (** field write *)
+
+type t = { lhs : lhs; rhs : Expr.t }
+
+let assign_temp name rhs = { lhs = Temp name; rhs }
+let store access rhs = { lhs = Store access; rhs }
+
+let pp_lhs ppf = function
+  | Temp s -> Fmt.string ppf s
+  | Store a -> Fieldspec.pp_access ppf a
+
+let pp ppf a = Fmt.pf ppf "@[<hov 2>%a <-@ %a@]" pp_lhs a.lhs Expr.pp a.rhs
+
+let pp_list = Fmt.list ~sep:Fmt.cut pp
+
+(** Temporaries defined by the list, in definition order. *)
+let defined_temps assignments =
+  List.filter_map (fun a -> match a.lhs with Temp s -> Some s | Store _ -> None) assignments
+
+(** Symbols read but never defined: these become kernel arguments. *)
+let free_symbols assignments =
+  let defined = defined_temps assignments in
+  let read =
+    List.concat_map (fun a -> Expr.free_syms a.rhs) assignments
+    |> List.sort_uniq Stdlib.compare
+  in
+  List.filter (fun s -> not (List.mem s defined)) read
+
+(** Distinct field accesses read by the kernel. *)
+let loads assignments =
+  List.fold_left
+    (fun acc a ->
+      List.fold_left
+        (fun acc r ->
+          if List.exists (Fieldspec.equal_access r) acc then acc else r :: acc)
+        acc (Expr.accesses a.rhs))
+    [] assignments
+  |> List.rev
+
+let stores assignments =
+  List.filter_map (fun a -> match a.lhs with Store x -> Some x | Temp _ -> None) assignments
+
+let fields assignments =
+  let of_accesses accs =
+    List.map (fun (a : Fieldspec.access) -> a.field) accs
+  in
+  of_accesses (loads assignments) @ of_accesses (stores assignments)
+  |> List.fold_left (fun acc f -> if List.exists (Fieldspec.equal f) acc then acc else f :: acc) []
+  |> List.rev
+
+(** Check the single-static-assignment property: every temporary is defined
+    exactly once and before its first use.  Raises [Invalid_argument]. *)
+let check_ssa assignments =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun s ->
+          if not (Hashtbl.mem seen s) && List.mem s (defined_temps assignments) then
+            invalid_arg (Printf.sprintf "Assignment.check_ssa: %s used before definition" s))
+        (Expr.free_syms a.rhs);
+      match a.lhs with
+      | Temp s ->
+        if Hashtbl.mem seen s then
+          invalid_arg (Printf.sprintf "Assignment.check_ssa: %s defined twice" s);
+        Hashtbl.add seen s ()
+      | Store _ -> ())
+    assignments
+
+(** Run global CSE over the right-hand sides, prepending the shared
+    subexpression bindings as temporary assignments. *)
+let cse ?(prefix = "xi_") assignments =
+  let { Cse.bindings; exprs } = Cse.run ~prefix (List.map (fun a -> a.rhs) assignments) in
+  List.map (fun (name, rhs) -> assign_temp name rhs) bindings
+  @ List.map2 (fun a rhs -> { a with rhs }) assignments exprs
+
+(** Simplify each right-hand side individually (expand-or-factor, whichever
+    is cheaper), the per-term pass that precedes global CSE. *)
+let simplify assignments =
+  List.map (fun a -> { a with rhs = Simplify.simplify_term a.rhs }) assignments
+
+(** Substitute fixed parameters by numeric values in all right-hand sides. *)
+let freeze_parameters bindings assignments =
+  List.map (fun a -> { a with rhs = Simplify.freeze_parameters bindings a.rhs }) assignments
+
+(** Substitute arbitrary atoms (e.g. rewrite accesses) in all rhs. *)
+let subst pairs assignments = List.map (fun a -> { a with rhs = Expr.subst pairs a.rhs }) assignments

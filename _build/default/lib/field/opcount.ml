@@ -1,0 +1,71 @@
+(** Floating-point operation counting (paper Table 1).
+
+    Counts additions, multiplications, divisions, square roots and inverse
+    square roots per cell update of an assignment list, plus loads (distinct
+    double values read) and stores.  The normalized-FLOP weighting follows
+    the paper: add/mul = 1, div = 16, sqrt = 10, rsqrt = 2 (their throughput
+    on Skylake). *)
+
+open Symbolic
+
+type t = {
+  loads : int;
+  stores : int;
+  adds : int;
+  muls : int;
+  divs : int;
+  sqrts : int;
+  rsqrts : int;
+  others : int;  (** exp/log/trig/abs/min/max/selects, rare in these kernels *)
+}
+
+let zero = { loads = 0; stores = 0; adds = 0; muls = 0; divs = 0; sqrts = 0; rsqrts = 0; others = 0 }
+
+let ( ++ ) a b =
+  {
+    loads = a.loads + b.loads;
+    stores = a.stores + b.stores;
+    adds = a.adds + b.adds;
+    muls = a.muls + b.muls;
+    divs = a.divs + b.divs;
+    sqrts = a.sqrts + b.sqrts;
+    rsqrts = a.rsqrts + b.rsqrts;
+    others = a.others + b.others;
+  }
+
+(** Weighted sum matching the paper's "normalized FLOPS" row. *)
+let normalized c = c.adds + c.muls + (16 * c.divs) + (10 * c.sqrts) + (2 * c.rsqrts) + c.others
+
+let total_flops c = c.adds + c.muls + c.divs + c.sqrts + c.rsqrts + c.others
+
+let of_expr e =
+  Expr.fold
+    (fun acc node ->
+      match node with
+      | Expr.Add xs -> { acc with adds = acc.adds + List.length xs - 1 }
+      | Expr.Mul xs -> { acc with muls = acc.muls + List.length xs - 1 }
+      | Expr.Pow (_, n) when n > 0 -> { acc with muls = acc.muls + n - 1 }
+      | Expr.Pow (_, n) -> { acc with divs = acc.divs + 1; muls = acc.muls + abs n - 1 }
+      | Expr.Fun (Sqrt, _) -> { acc with sqrts = acc.sqrts + 1 }
+      | Expr.Fun (Rsqrt, _) -> { acc with rsqrts = acc.rsqrts + 1 }
+      | Expr.Fun ((Exp | Log | Sin | Cos | Tanh | Fabs | Fmin | Fmax), _) ->
+        { acc with others = acc.others + 1 }
+      | Expr.Select _ -> { acc with others = acc.others + 1 }
+      | Expr.Num _ | Expr.Sym _ | Expr.Coord _ | Expr.Access _ | Expr.Diff _ | Expr.Rand _ -> acc)
+    zero e
+
+(** Counts for one cell update of an assignment list.  Assumes the list is
+    already in its final (post-CSE) form: temporaries are counted once. *)
+let of_assignments assignments =
+  let ops =
+    List.fold_left (fun acc (a : Assignment.t) -> acc ++ of_expr a.rhs) zero assignments
+  in
+  {
+    ops with
+    loads = List.length (Assignment.loads assignments);
+    stores = List.length (Assignment.stores assignments);
+  }
+
+let pp ppf c =
+  Fmt.pf ppf "loads=%d stores=%d adds=%d muls=%d divs=%d sqrts=%d rsqrts=%d norm=%d"
+    c.loads c.stores c.adds c.muls c.divs c.sqrts c.rsqrts (normalized c)

@@ -1,0 +1,1 @@
+lib/gpumodel/device.ml: Float

@@ -1,0 +1,1 @@
+lib/gpumodel/evotune.ml: Array List Philox Remat Transforms

@@ -1,0 +1,1 @@
+lib/gpumodel/kessler.ml: Array Assignment Bytes Char Field Fun Hashtbl List Stdlib Symbolic

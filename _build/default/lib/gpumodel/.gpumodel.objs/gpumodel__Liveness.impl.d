@@ -1,0 +1,1 @@
+lib/gpumodel/liveness.ml: Assignment Expr Field Hashtbl List Symbolic

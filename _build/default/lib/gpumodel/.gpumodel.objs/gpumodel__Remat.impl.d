@@ -1,0 +1,1 @@
+lib/gpumodel/remat.ml: Assignment Expr Field Hashtbl List Option Simplify Symbolic

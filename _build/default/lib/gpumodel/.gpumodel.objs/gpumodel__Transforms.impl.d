@@ -1,0 +1,1 @@
+lib/gpumodel/transforms.ml: Assignment Device Field Kessler List Liveness Opcount Printf Remat

@@ -1,0 +1,76 @@
+(** GPU device model (NVIDIA Tesla P100, Piz Daint).
+
+    Occupancy and runtime follow the standard CUDA occupancy calculation:
+    the register file limits resident warps, resident warps determine how
+    much of the arithmetic/memory latency can be hidden, and register
+    spilling past the 255-register architectural ceiling costs extra
+    local-memory traffic.  This is the cost model behind the paper's
+    Fig. 2 (right): scheduling below 255 registers eliminates spilling
+    (+50%), and below 128 doubles occupancy (×2 total). *)
+
+type t = {
+  name : string;
+  sm_count : int;
+  clock_ghz : float;
+  dp_flops_per_cycle_per_sm : int;  (** P100: 32 DP lanes × 2 (FMA) *)
+  mem_bw_gbytes : float;
+  registers_per_sm : int;
+  max_registers_per_thread : int;
+  max_warps_per_sm : int;
+  threads_per_block : int;
+}
+
+let p100 =
+  {
+    name = "Tesla P100";
+    sm_count = 56;
+    clock_ghz = 1.33;
+    dp_flops_per_cycle_per_sm = 64;
+    mem_bw_gbytes = 732.;
+    registers_per_sm = 65536;
+    max_registers_per_thread = 255;
+    max_warps_per_sm = 64;
+    threads_per_block = 128;
+  }
+
+(** Occupancy (fraction of maximum resident warps) for a kernel using
+    [registers] 32-bit registers per thread.  Register allocation is
+    capped at the architectural maximum; demand beyond it spills. *)
+let occupancy dev ~registers =
+  let allocated = min registers dev.max_registers_per_thread in
+  let warps_by_regs = dev.registers_per_sm / (allocated * 32) in
+  let warps = min dev.max_warps_per_sm warps_by_regs in
+  float_of_int warps /. float_of_int dev.max_warps_per_sm
+
+(** Spill traffic factor: registers demanded beyond the cap go to local
+    memory; each spilled double costs a store+load round trip per use. *)
+let spill_penalty dev ~registers =
+  if registers <= dev.max_registers_per_thread then 1.0
+  else
+    1.0
+    +. (0.5
+        *. float_of_int (registers - dev.max_registers_per_thread)
+        /. float_of_int dev.max_registers_per_thread)
+
+(** Modeled kernel time per lattice update (nanoseconds).
+
+    - compute time: normalized FLOPs over the DP throughput;
+    - memory time: streamed bytes over HBM bandwidth;
+    - latency hiding: effectiveness grows with occupancy (an occupancy of
+      ~50% is enough to saturate; below that, time inflates);
+    - spilling multiplies the memory component. *)
+let time_per_lup_ns dev ~flops ~bytes ~registers =
+  let occ = occupancy dev ~registers in
+  let peak_flops = float_of_int dev.sm_count *. dev.clock_ghz *. 1e9 *. float_of_int dev.dp_flops_per_cycle_per_sm in
+  (* achievable utilization saturates with occupancy (Little's law) *)
+  let latency_factor = Float.min 1.0 (occ /. 0.5) in
+  let t_comp = float_of_int flops /. (peak_flops *. 0.65 *. latency_factor) *. 1e9 in
+  let t_mem =
+    bytes *. spill_penalty dev ~registers
+    /. (dev.mem_bw_gbytes *. 1e9 *. Float.min 1.0 (occ /. 0.25))
+    *. 1e9
+  in
+  Float.max t_comp t_mem
+
+(** Modeled MLUP/s for one kernel sweep. *)
+let mlups dev ~flops ~bytes ~registers = 1e3 /. time_per_lup_ns dev ~flops ~bytes ~registers

@@ -1,0 +1,78 @@
+(** Evolutionary tuning of GPU transformation sequences (paper §3.5).
+
+    The transformations interact non-linearly ("the effects of multiple
+    transformations do not add up linearly but can decrease or amplify each
+    other"), so a small genetic algorithm searches sequences and their
+    parameters for minimal modeled runtime.  Randomness comes from Philox,
+    keyed on a user seed: tuning is fully deterministic. *)
+
+type genome = Transforms.transform list
+
+type outcome = { genome : genome; time_ns : float; registers : Transforms.registers }
+
+(* Philox-backed uniform integer in [0, n). *)
+let uniform ~seed ~ctr n =
+  let w = Philox.random_ints ~c0:ctr ~c1:(ctr lsr 31) ~c2:0xe70 ~c3:0 ~k0:seed ~k1:0xEA7 in
+  w.(0) mod n
+
+let gene_pool =
+  [|
+    Transforms.Sched 1;
+    Transforms.Sched 5;
+    Transforms.Sched 20;
+    Transforms.Sched 50;
+    Transforms.Remat Remat.default;
+    Transforms.Remat { Remat.max_cost = 2; max_uses = 8; leaves_only = true };
+    Transforms.Remat { Remat.max_cost = 8; max_uses = 3; leaves_only = false };
+    Transforms.Fence 16;
+    Transforms.Fence 32;
+    Transforms.Fence 64;
+  |]
+
+let random_genome ~seed ~ctr =
+  let len = 1 + uniform ~seed ~ctr:(ctr * 7) 3 in
+  List.init len (fun i ->
+      gene_pool.(uniform ~seed ~ctr:((ctr * 13) + i) (Array.length gene_pool)))
+
+let mutate ~seed ~ctr genome =
+  let genome = Array.of_list genome in
+  let i = uniform ~seed ~ctr (max 1 (Array.length genome)) in
+  if Array.length genome = 0 then random_genome ~seed ~ctr
+  else begin
+    genome.(i) <- gene_pool.(uniform ~seed ~ctr:(ctr + 1) (Array.length gene_pool));
+    Array.to_list genome
+  end
+
+let crossover a b =
+  let rec take n = function [] -> [] | x :: r -> if n = 0 then [] else x :: take (n - 1) r in
+  let rec drop n = function [] -> [] | _ :: r as l -> if n = 0 then l else drop (n - 1) r in
+  take 1 a @ drop 1 b
+
+let evaluate dev body genome =
+  let result = Transforms.apply genome body in
+  { genome; time_ns = Transforms.modeled_time dev result; registers = Transforms.registers result }
+
+(** Run the GA and return outcomes sorted best-first (including the empty
+    genome as baseline). *)
+let tune ?(seed = 42) ?(population = 12) ?(generations = 8) dev body =
+  let eval = evaluate dev body in
+  let initial = List.init population (fun i -> random_genome ~seed ~ctr:(i + 1)) in
+  let rec go gen pool =
+    let scored = List.map eval pool |> List.sort (fun a b -> compare a.time_ns b.time_ns) in
+    if gen = 0 then scored
+    else begin
+      let elite = List.filteri (fun i _ -> i < max 2 (population / 4)) scored in
+      let parents = Array.of_list (List.map (fun o -> o.genome) elite) in
+      let children =
+        List.init (population - Array.length parents) (fun i ->
+            let ctr = (gen * 1000) + i in
+            let a = parents.(uniform ~seed ~ctr (Array.length parents)) in
+            let b = parents.(uniform ~seed ~ctr:(ctr + 17) (Array.length parents)) in
+            mutate ~seed ~ctr:(ctr + 31) (crossover a b))
+      in
+      go (gen - 1) (List.map (fun o -> o.genome) elite @ children)
+    end
+  in
+  let final = go generations initial in
+  let baseline = eval [] in
+  List.sort (fun a b -> compare a.time_ns b.time_ns) (baseline :: final)

@@ -1,0 +1,145 @@
+(** Register-pressure-minimizing statement scheduling.
+
+    Adaptation of Kessler's optimal expression-DAG scheduling (paper ref.
+    [34]) to a beam-search heuristic, exactly as §3.5 describes: a
+    breadth-first enumeration of topological orders that deduplicates
+    partial schedules with identical scheduled sets and keeps only the
+    [beam] best (lowest peak liveness) candidates per step. *)
+
+open Field
+
+type dag = {
+  assignments : Assignment.t array;
+  preds : int list array;  (** operand definitions *)
+  succs : int list array;
+  n_users : int array;     (** how many statements read each definition *)
+}
+
+let build assignments =
+  let arr = Array.of_list assignments in
+  let n = Array.length arr in
+  let def_of : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (a : Assignment.t) ->
+      match a.lhs with Assignment.Temp s -> Hashtbl.replace def_of s i | _ -> ())
+    arr;
+  let preds = Array.make n [] and succs = Array.make n [] and n_users = Array.make n 0 in
+  Array.iteri
+    (fun i (a : Assignment.t) ->
+      let ps =
+        List.filter_map (fun s -> Hashtbl.find_opt def_of s) (Symbolic.Expr.free_syms a.rhs)
+        |> List.sort_uniq Stdlib.compare
+      in
+      preds.(i) <- ps;
+      List.iter
+        (fun p ->
+          succs.(p) <- i :: succs.(p);
+          n_users.(p) <- n_users.(p) + 1)
+        ps)
+    arr;
+  { assignments = arr; preds; succs; n_users }
+
+type state = {
+  mask : Bytes.t;
+  remaining : int array;  (** unscheduled users left, per definition *)
+  live : int;
+  peak : int;
+  order : int list;  (** reversed schedule *)
+}
+
+let in_mask mask i = Char.code (Bytes.get mask (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add_mask mask i =
+  let b = Bytes.copy mask in
+  Bytes.set b (i lsr 3) (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))));
+  b
+
+(** Schedule the assignment list, returning a reordering with (near-)minimal
+    peak liveness.  Stores keep their relative order with respect to each
+    other to preserve any aliasing semantics. *)
+let schedule ?(beam = 20) assignments =
+  let dag = build assignments in
+  let n = Array.length dag.assignments in
+  if n = 0 then assignments
+  else begin
+    (* store ordering chain: each store depends on the previous store *)
+    let stores =
+      List.filter
+        (fun i ->
+          match dag.assignments.(i).Assignment.lhs with
+          | Assignment.Store _ -> true
+          | Assignment.Temp _ -> false)
+        (List.init n Fun.id)
+    in
+    let store_pred = Hashtbl.create 16 in
+    let rec chain = function
+      | a :: (b :: _ as rest) ->
+        Hashtbl.replace store_pred b a;
+        chain rest
+      | _ -> ()
+    in
+    chain stores;
+    let preds i =
+      match Hashtbl.find_opt store_pred i with
+      | Some p -> p :: dag.preds.(i)
+      | None -> dag.preds.(i)
+    in
+    let initial =
+      {
+        mask = Bytes.make ((n + 7) / 8) '\000';
+        remaining = Array.copy dag.n_users;
+        live = 0;
+        peak = 0;
+        order = [];
+      }
+    in
+    let expand st =
+      let candidates = ref [] in
+      for i = 0 to n - 1 do
+        if (not (in_mask st.mask i)) && List.for_all (in_mask st.mask) (preds i) then begin
+          let frees =
+            List.fold_left
+              (fun acc p -> if st.remaining.(p) = 1 then acc + 1 else acc)
+              0 dag.preds.(i)
+          in
+          let defines =
+            match dag.assignments.(i).Assignment.lhs with
+            | Assignment.Temp _ when dag.n_users.(i) > 0 -> 1
+            | _ -> 0
+          in
+          let live = st.live + defines in
+          let peak = max st.peak live in
+          let remaining = Array.copy st.remaining in
+          List.iter (fun p -> remaining.(p) <- remaining.(p) - 1) dag.preds.(i);
+          candidates :=
+            {
+              mask = add_mask st.mask i;
+              remaining;
+              live = live - frees;
+              peak;
+              order = i :: st.order;
+            }
+            :: !candidates
+        end
+      done;
+      !candidates
+    in
+    let step states =
+      let all = List.concat_map expand states in
+      (* deduplicate identical scheduled sets: same path forward *)
+      let table : (Bytes.t, state) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun st ->
+          match Hashtbl.find_opt table st.mask with
+          | Some best when (best.peak, best.live) <= (st.peak, st.live) -> ()
+          | _ -> Hashtbl.replace table st.mask st)
+        all;
+      let uniq = Hashtbl.fold (fun _ st acc -> st :: acc) table [] in
+      let sorted = List.sort (fun a b -> Stdlib.compare (a.peak, a.live) (b.peak, b.live)) uniq in
+      List.filteri (fun i _ -> i < beam) sorted
+    in
+    let rec go states k = if k = 0 then states else go (step states) (k - 1) in
+    match go [ initial ] n with
+    | best :: _ -> List.rev_map (fun i -> dag.assignments.(i)) best.order
+    | [] -> assignments
+  end

@@ -1,0 +1,69 @@
+(** Liveness analysis over SSA assignment lists.
+
+    Counts how many temporaries are simultaneously alive at any point of a
+    schedule — the "alive intermediates" of paper Fig. 2 (right), which
+    multiplied by two (doubles occupy two 32-bit registers) approximates the
+    register demand of the generated CUDA kernel. *)
+
+open Symbolic
+open Field
+
+let used_temps ~defined (e : Expr.t) =
+  Expr.fold
+    (fun acc n ->
+      match n with
+      | Expr.Sym s when Hashtbl.mem defined s && not (List.mem s acc) -> s :: acc
+      | _ -> acc)
+    [] e
+
+(** [last_use assignments]: for each temporary, the index of the assignment
+    that reads it last (-1 when never read). *)
+let last_use assignments =
+  let defined : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Assignment.t) ->
+      match a.lhs with Assignment.Temp s -> Hashtbl.replace defined s () | _ -> ())
+    assignments;
+  let last : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun i (a : Assignment.t) ->
+      List.iter (fun s -> Hashtbl.replace last s i) (used_temps ~defined a.rhs))
+    assignments;
+  last
+
+(** Maximum number of simultaneously alive temporaries over the schedule. *)
+let max_live assignments =
+  let last = last_use assignments in
+  let alive = ref 0 and peak = ref 0 in
+  List.iteri
+    (fun i (a : Assignment.t) ->
+      (match a.lhs with
+      | Assignment.Temp s -> if Hashtbl.mem last s then incr alive
+      | Assignment.Store _ -> ());
+      if !alive > !peak then peak := !alive;
+      (* kill temporaries whose last use is this statement *)
+      Hashtbl.iter (fun _ j -> if j = i then decr alive) last)
+    assignments;
+  !peak
+
+(** Estimated 32-bit register demand: two registers per live double plus a
+    fixed overhead for indexing and loop state. *)
+let register_estimate ?(overhead = 24) assignments = (2 * max_live assignments) + overhead
+
+(** Model of nvcc's load hoisting: the compiler "tries to move as many loads
+    as possible to the beginning of a block" (paper §3.5), lengthening live
+    ranges.  Hoists every assignment whose rhs reads only field accesses,
+    constants and parameters to the front, keeping relative order. *)
+let nvcc_load_hoist assignments =
+  let defined : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Assignment.t) ->
+      match a.lhs with Assignment.Temp s -> Hashtbl.replace defined s () | _ -> ())
+    assignments;
+  let is_load (a : Assignment.t) =
+    match a.lhs with
+    | Assignment.Store _ -> false
+    | Assignment.Temp _ -> used_temps ~defined a.rhs = []
+  in
+  let loads, rest = List.partition is_load assignments in
+  loads @ rest

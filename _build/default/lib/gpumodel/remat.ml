@@ -1,0 +1,59 @@
+(** Rematerialization — selectively undoing CSE (paper §3.5).
+
+    CSE creates many small, long-lived intermediates.  Temporaries that are
+    cheap to recompute and whose operands sit at the top of the dependency
+    graph (constants, field accesses, parameters) are inlined back into
+    their use sites, trading a few extra FLOPs for shorter live ranges. *)
+
+open Symbolic
+open Field
+
+(** Tunable policy, the "considered properties of assignments" the
+    evolutionary tuner searches over. *)
+type policy = {
+  max_cost : int;   (** recompute cost ceiling (normalized FLOPs) *)
+  max_uses : int;   (** do not duplicate into more than this many sites *)
+  leaves_only : bool;  (** require operands to be atoms (graph top) *)
+}
+
+let default = { max_cost = 4; max_uses = 4; leaves_only = true }
+
+let run ?(policy = default) assignments =
+  let defined : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Assignment.t) ->
+      match a.lhs with Assignment.Temp s -> Hashtbl.replace defined s () | _ -> ())
+    assignments;
+  let uses : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Assignment.t) ->
+      List.iter
+        (fun s ->
+          if Hashtbl.mem defined s then
+            Hashtbl.replace uses s (1 + Option.value (Hashtbl.find_opt uses s) ~default:0))
+        (Expr.free_syms a.rhs))
+    assignments;
+  let reads_temp e =
+    List.exists (fun s -> Hashtbl.mem defined s) (Expr.free_syms e)
+  in
+  let inline_table : (string, Expr.t) Hashtbl.t = Hashtbl.create 32 in
+  let apply e =
+    Expr.map_bottom_up
+      (function
+        | Expr.Sym s as node -> (
+          match Hashtbl.find_opt inline_table s with Some v -> v | None -> node)
+        | node -> node)
+      e
+  in
+  List.filter_map
+    (fun (a : Assignment.t) ->
+      let rhs = apply a.rhs in
+      match a.lhs with
+      | Assignment.Temp s
+        when Simplify.cost rhs <= policy.max_cost
+             && Option.value (Hashtbl.find_opt uses s) ~default:0 <= policy.max_uses
+             && ((not policy.leaves_only) || not (reads_temp rhs)) ->
+        Hashtbl.replace inline_table s rhs;
+        None
+      | _ -> Some { a with rhs })
+    assignments

@@ -1,0 +1,75 @@
+(** GPU register-usage transformation pipeline (paper §3.5, Fig. 2 right).
+
+    Three transformations act on the kernel's SSA assignment list before it
+    is handed to the (modeled) nvcc compiler:
+
+    - [Sched beam]: Kessler-style beam rescheduling to minimize peak
+      liveness;
+    - [Remat policy]: rematerialize cheap long-lived intermediates;
+    - [Fence stride]: insert [__threadfence()]-like barriers every [stride]
+      statements.  Fences do not change our statement order but restrict the
+      modeled compiler's load hoisting to fence-delimited segments,
+      "reducing the amount of reordering of instructions by the compiler".
+
+    The nvcc model captures the paper's observation that the compiler moves
+    loads to the beginning of a block (lengthening live ranges) unless
+    fences stop it. *)
+
+open Field
+
+type transform =
+  | Sched of int          (** beam width; 1 = greedy *)
+  | Remat of Remat.policy
+  | Fence of int          (** statements between fences *)
+
+let name = function
+  | Sched b -> Printf.sprintf "sched(%d)" b
+  | Remat _ -> "dupl"
+  | Fence s -> Printf.sprintf "fence(%d)" s
+
+(* Fences only matter for the compiler model; record the stride. *)
+type result = { body : Assignment.t list; fence_stride : int option }
+
+let apply transforms body =
+  List.fold_left
+    (fun acc t ->
+      match t with
+      | Sched beam -> { acc with body = Kessler.schedule ~beam acc.body }
+      | Remat policy -> { acc with body = Remat.run ~policy acc.body }
+      | Fence stride -> { acc with fence_stride = Some stride })
+    { body; fence_stride = None }
+    transforms
+
+(* Segment-wise nvcc load hoisting: without fences the whole body is one
+   segment. *)
+let nvcc_schedule result =
+  match result.fence_stride with
+  | None -> Liveness.nvcc_load_hoist result.body
+  | Some stride ->
+    let rec split acc cur k = function
+      | [] -> List.rev (List.rev cur :: acc)
+      | x :: rest ->
+        if k = stride then split (List.rev cur :: acc) [ x ] 1 rest
+        else split acc (x :: cur) (k + 1) rest
+    in
+    let segments = split [] [] 0 result.body in
+    List.concat_map Liveness.nvcc_load_hoist segments
+
+(** Register counts as in Fig. 2 (right): [analysis] counts alive
+    intermediates ×2 on our own schedule; [nvcc] is the modeled compiler
+    allocation after its reordering. *)
+type registers = { analysis : int; nvcc : int }
+
+let registers result =
+  {
+    analysis = Liveness.register_estimate result.body;
+    nvcc = Liveness.register_estimate (nvcc_schedule result);
+  }
+
+(** Modeled runtime of the transformed kernel on a device.  Remat may have
+    changed the FLOP count, so it is recounted. *)
+let modeled_time dev result =
+  let counts = Opcount.of_assignments result.body in
+  let flops = Opcount.normalized counts in
+  let bytes = float_of_int ((8 * counts.Opcount.loads) + (16 * counts.Opcount.stores)) in
+  Device.time_per_lup_ns dev ~flops ~bytes ~registers:(registers result).nvcc

@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Array Assignment Field Fieldspec Fmt List Printf Stdlib String Symbolic

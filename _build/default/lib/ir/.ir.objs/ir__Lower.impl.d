@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Assignment Expr Field Fmt Fun Hashtbl Int Kernel List Set Stdlib Symbolic

@@ -1,0 +1,1 @@
+lib/ir/typing.ml: Assignment Expr Field Fmt Hashtbl Kernel List Option Symbolic

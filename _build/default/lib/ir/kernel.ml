@@ -1,0 +1,71 @@
+(** Compute kernels — the unit handed from the discretization layer to the
+    intermediate-representation layer.
+
+    A kernel is an SSA assignment list executed once per cell of a sweep,
+    together with iteration metadata.  [CellSweep] kernels update interior
+    cells; [StaggeredSweep] kernels write a staggered (face) field and
+    iterate one extra layer along each axis they store faces for
+    (paper §3.4 discusses the non-trivial loop bounds this induces;
+    we fuse the per-axis face iterations by extending the bounds). *)
+
+open Symbolic
+open Field
+
+type iteration =
+  | CellSweep
+  | StaggeredSweep of int list  (** axes that carry stored faces *)
+
+type t = {
+  name : string;
+  dim : int;
+  body : Assignment.t list;
+  iteration : iteration;
+  ghost : int;  (** ghost layers the kernel's reads require *)
+}
+
+let required_ghost body =
+  List.fold_left
+    (fun g (a : Fieldspec.access) ->
+      Array.fold_left (fun g o -> max g (abs o)) g a.offsets)
+    0 (Assignment.loads body)
+
+let make ?(iteration = CellSweep) ~name ~dim body =
+  Assignment.check_ssa body;
+  { name; dim; body; iteration; ghost = required_ghost body }
+
+(** All fields the kernel touches, reads first. *)
+let fields k = Assignment.fields k.body
+
+(** Scalar arguments of the generated function: free symbols of the body. *)
+let parameters k = Assignment.free_symbols k.body
+
+let loads k = Assignment.loads k.body
+let stores k = Assignment.stores k.body
+
+(** Replace the body through an assignment-list transformation, rechecking
+    SSA; ghost requirements are recomputed. *)
+let map_body f k =
+  let body = f k.body in
+  Assignment.check_ssa body;
+  { k with body; ghost = required_ghost body }
+
+(** Neighbor-access pattern label like the paper's D3C7 / D3C19, per field. *)
+let stencil_signature k (field : Fieldspec.t) =
+  let offsets =
+    List.filter_map
+      (fun (a : Fieldspec.access) ->
+        if Fieldspec.equal a.field field then Some (Array.to_list a.offsets) else None)
+      (loads k)
+    |> List.sort_uniq Stdlib.compare
+  in
+  Printf.sprintf "D%dC%d" k.dim (List.length offsets)
+
+let pp ppf k =
+  let iter =
+    match k.iteration with
+    | CellSweep -> "cells"
+    | StaggeredSweep axes ->
+      "staggered:" ^ String.concat "," (List.map string_of_int axes)
+  in
+  Fmt.pf ppf "@[<v 2>kernel %s (%dD, %s, ghost=%d):@ %a@]" k.name k.dim iter k.ghost
+    Assignment.pp_list k.body

@@ -1,0 +1,96 @@
+(** Type assignment for kernel bodies (paper §3.4: "the first
+    transformation on this layer ensures that all expressions are properly
+    typed and inserts casts where necessary").
+
+    The stencil language is small: field data and temporaries are [F64],
+    loop counters and cell indices are [I64], comparison results are [Bool].
+    The pass classifies every symbol of a kernel, checks that expressions
+    are well-typed (e.g. no field access used as a condition without a
+    comparison) and reports where integer→float conversions occur (the
+    coordinate terms). *)
+
+open Symbolic
+open Field
+
+type dtype = F64 | F32 | I64 | Bool
+
+let to_string = function F64 -> "double" | F32 -> "float" | I64 -> "int64_t" | Bool -> "bool"
+
+type env = {
+  temps : (string, dtype) Hashtbl.t;
+  params : (string, dtype) Hashtbl.t;
+  mutable casts : int;  (** int→float conversions required (Coord terms) *)
+}
+
+exception Type_error of string
+
+(* All arithmetic in the stencil language is double precision; conditions
+   are boolean; coordinates convert int64 counters to double. *)
+let rec infer env (e : Expr.t) : dtype =
+  match e with
+  | Expr.Num _ -> F64
+  | Expr.Sym s -> (
+    match Hashtbl.find_opt env.temps s with
+    | Some t -> t
+    | None -> (
+      match Hashtbl.find_opt env.params s with
+      | Some t -> t
+      | None ->
+        Hashtbl.replace env.params s F64;
+        F64))
+  | Expr.Coord _ ->
+    env.casts <- env.casts + 1;
+    F64 (* int64 counter cast to double *)
+  | Expr.Access _ -> F64
+  | Expr.Rand _ -> F64
+  | Expr.Diff _ -> raise (Type_error "Diff node in a discretized kernel")
+  | Expr.Add xs | Expr.Mul xs ->
+    List.iter (expect env F64) xs;
+    F64
+  | Expr.Pow (b, _) ->
+    expect env F64 b;
+    F64
+  | Expr.Fun (_, xs) ->
+    List.iter (expect env F64) xs;
+    F64
+  | Expr.Select (c, t, f) ->
+    let _ : dtype = infer_cond env c in
+    expect env F64 t;
+    expect env F64 f;
+    F64
+
+and infer_cond env = function
+  | Expr.Lt (a, b) | Expr.Le (a, b) ->
+    expect env F64 a;
+    expect env F64 b;
+    Bool
+
+and expect env want e =
+  let got = infer env e in
+  if got <> want then
+    raise
+      (Type_error
+         (Fmt.str "expected %s, got %s in %a" (to_string want) (to_string got) Expr.pp e))
+
+(** Infer and check the whole kernel; returns the typing environment with
+    every temporary and parameter classified. *)
+let check (k : Kernel.t) =
+  let env = { temps = Hashtbl.create 64; params = Hashtbl.create 16; casts = 0 } in
+  List.iter
+    (fun (a : Assignment.t) ->
+      let t = infer env a.rhs in
+      match a.lhs with
+      | Assignment.Temp s ->
+        if t <> F64 then raise (Type_error ("temporary " ^ s ^ " is not double"));
+        Hashtbl.replace env.temps s F64
+      | Assignment.Store _ -> if t <> F64 then raise (Type_error "store of a non-double"))
+    k.Kernel.body;
+  env
+
+(** Declarations the backends need: (symbol, dtype) for every runtime
+    parameter, in kernel-argument order. *)
+let parameter_types k =
+  let env = check k in
+  List.map
+    (fun s -> (s, Option.value (Hashtbl.find_opt env.params s) ~default:F64))
+    (Kernel.parameters k)

@@ -1,0 +1,1 @@
+lib/perfmodel/cachesim.ml: Array Fieldspec Hashtbl Ir List Symbolic

@@ -1,0 +1,1 @@
+lib/perfmodel/ecm.ml: Field Float Fmt Ir Layercond List Machine Opcount

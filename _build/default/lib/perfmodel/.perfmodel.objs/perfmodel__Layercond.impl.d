@@ -1,0 +1,1 @@
+lib/perfmodel/layercond.ml: Array Fieldspec Fmt Hashtbl Ir List Option Symbolic

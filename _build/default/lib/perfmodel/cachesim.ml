@@ -1,0 +1,115 @@
+(** Set-associative LRU cache simulator.
+
+    Kerncraft offers two ways to derive data traffic: analytic layer
+    conditions ({!Layercond}) or a cache-hierarchy simulation (paper §3.6,
+    "analytical layer conditions or a cache hierarchy simulator").  This is
+    the second path: a sweep of the kernel's access pattern is replayed
+    through an LRU cache and the measured miss traffic validates the layer
+    condition's prediction. *)
+
+open Symbolic
+
+type t = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  tags : int array array;      (** per set, LRU order: most recent first *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~size_bytes ~ways ~line_bytes =
+  let sets = max 1 (size_bytes / (ways * line_bytes)) in
+  {
+    sets;
+    ways;
+    line_bytes;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    hits = 0;
+    misses = 0;
+  }
+
+let reset t =
+  Array.iter (fun set -> Array.fill set 0 t.ways (-1)) t.tags;
+  t.hits <- 0;
+  t.misses <- 0
+
+(** Touch one byte address; returns true on hit. *)
+let access t addr =
+  let line = addr / t.line_bytes in
+  let set = t.tags.(line mod t.sets) in
+  let tag = line / t.sets in
+  let rec find i = if i >= t.ways then -1 else if set.(i) = tag then i else find (i + 1) in
+  let pos = find 0 in
+  let hit = pos >= 0 in
+  (* promote to MRU; on miss evict the LRU way *)
+  let from = if hit then pos else t.ways - 1 in
+  for i = from downto 1 do
+    set.(i) <- set.(i - 1)
+  done;
+  set.(0) <- tag;
+  if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+  hit
+
+let miss_bytes t = t.misses * t.line_bytes
+
+(** Replay a full sweep of [kernel]'s loads over an [n]³ (or [n]ᵈ) block and
+    return the measured traffic in bytes per lattice update.  Fields are
+    laid out as in the VM (x fastest, component slabs), so the simulated
+    reuse pattern is the real one. *)
+let sweep_traffic (kernel : Ir.Kernel.t) ~cache ~n =
+  reset cache;
+  let dim = kernel.Ir.Kernel.dim in
+  let loads = Ir.Kernel.loads kernel in
+  (* assign disjoint address spaces per (field, component, face) slab *)
+  let slab_table : (string * int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  let next_slab = ref 0 in
+  let slab (a : Fieldspec.access) =
+    let comp =
+      if a.face_axis >= 0 then (a.component * a.field.Fieldspec.dim) + a.face_axis
+      else a.component
+    in
+    let key = (a.field.Fieldspec.name, comp, 0) in
+    match Hashtbl.find_opt slab_table key with
+    | Some s -> s
+    | None ->
+      let s = !next_slab in
+      incr next_slab;
+      Hashtbl.add slab_table key s;
+      s
+  in
+  let precomputed =
+    List.map
+      (fun (a : Fieldspec.access) ->
+        let off = ref 0 in
+        Array.iteri
+          (fun d o ->
+            let stride = int_of_float (float_of_int (n + 4) ** float_of_int d) in
+            off := !off + (o * stride))
+          a.offsets;
+        (slab a, !off))
+      loads
+  in
+  let slab_bytes = 8 * int_of_float (float_of_int (n + 4) ** float_of_int dim) in
+  let coords = Array.make dim 0 in
+  let cells = ref 0 in
+  let rec loop d =
+    if d = dim then begin
+      incr cells;
+      let base = ref 0 in
+      Array.iteri
+        (fun d c ->
+          base := !base + ((c + 2) * int_of_float (float_of_int (n + 4) ** float_of_int d)))
+        coords;
+      List.iter
+        (fun (s, off) -> ignore (access cache ((s * slab_bytes * 2) + (8 * (!base + off)))))
+        precomputed
+    end
+    else
+      for i = 0 to n - 1 do
+        coords.(d) <- i;
+        loop (d + 1)
+      done
+  in
+  loop 0;
+  float_of_int (miss_bytes cache) /. float_of_int !cells

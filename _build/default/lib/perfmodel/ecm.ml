@@ -1,0 +1,106 @@
+(** Execution-Cache-Memory model (Stengel et al. [35], as automated by
+    Kerncraft [36]).
+
+    Predicts cycles per cache line of results (8 lattice updates in double
+    precision) from two components:
+
+    - in-core execution: overlapping arithmetic [t_ol] vs. load/store
+      throughput [t_nol], from the instruction tables and the kernel's
+      operation counts;
+    - data transfers through the memory hierarchy [t_l2/t_l3/t_mem], from
+      the layer-condition traffic at each boundary.
+
+    Single-core runtime is max(t_ol, t_nol + t_l2 + t_l3 + t_mem); multicore
+    performance scales linearly until the memory bandwidth ceiling, giving
+    the saturation core count the paper uses to select kernel variants. *)
+
+open Field
+
+type prediction = {
+  kernel : string;
+  t_ol : float;    (** overlapping (arithmetic) cycles per cacheline *)
+  t_nol : float;   (** non-overlapping load/store cycles per cacheline *)
+  t_l2 : float;    (** L1↔L2 transfer cycles *)
+  t_l3 : float;    (** L2↔L3 transfer cycles *)
+  t_mem : float;   (** L3↔memory transfer cycles *)
+  bytes_per_lup : float;  (** main-memory traffic per lattice update *)
+}
+
+let cacheline_lups = 8
+
+(** In-core cycles per cache line from the operation counts, assuming SIMD
+    execution at the machine's vector width. *)
+let core_cycles (m : Machine.t) (c : Opcount.t) =
+  let vec_iters = float_of_int cacheline_lups /. float_of_int m.simd_width in
+  let arith =
+    (float_of_int c.adds /. m.add_per_cycle)
+    +. (float_of_int c.muls /. m.mul_per_cycle)
+    +. (float_of_int c.divs *. m.div_cycles)
+    +. (float_of_int c.sqrts *. m.sqrt_cycles)
+    +. (float_of_int c.rsqrts *. m.rsqrt_cycles)
+    +. float_of_int c.others
+  in
+  let ldst =
+    (float_of_int c.loads /. m.load_per_cycle)
+    +. (float_of_int c.stores /. m.store_per_cycle)
+  in
+  (arith *. vec_iters, ldst *. vec_iters)
+
+let predict (m : Machine.t) (k : Ir.Kernel.t) ~block_n =
+  let counts = Opcount.of_assignments k.Ir.Kernel.body in
+  let t_ol, t_nol = core_cycles m counts in
+  let cl = float_of_int m.cacheline_bytes in
+  let bytes_at cache = Layercond.traffic_bytes_per_lup k ~cache_bytes:cache ~n:block_n in
+  let l2_traffic = bytes_at m.l1_bytes *. float_of_int cacheline_lups in
+  let l3_traffic = bytes_at m.l2_bytes *. float_of_int cacheline_lups in
+  let mem_traffic = bytes_at (m.l3_bytes_per_core * m.cores_per_socket) *. float_of_int cacheline_lups in
+  ignore cl;
+  {
+    kernel = k.Ir.Kernel.name;
+    t_ol;
+    t_nol;
+    t_l2 = l2_traffic /. m.l1_l2_bytes_per_cycle;
+    t_l3 = l3_traffic /. m.l2_l3_bytes_per_cycle;
+    t_mem = mem_traffic /. (m.mem_bw_gbytes *. 1e9 /. (m.clock_ghz *. 1e9));
+    bytes_per_lup = mem_traffic /. float_of_int cacheline_lups;
+  }
+
+(** Cycles per cacheline on a single core (no bandwidth contention). *)
+let single_core_cycles p = Float.max p.t_ol (p.t_nol +. p.t_l2 +. p.t_l3 +. p.t_mem)
+
+(** Single-core performance in MLUP/s. *)
+let single_core_mlups (m : Machine.t) p =
+  m.clock_ghz *. 1e9 *. float_of_int cacheline_lups /. single_core_cycles p /. 1e6
+
+(** Performance with [cores] active cores of one socket: linear scaling
+    capped by the memory-bandwidth roofline. *)
+let multicore_mlups (m : Machine.t) p ~cores =
+  let single = single_core_mlups m p in
+  let bw_cap = m.mem_bw_gbytes *. 1e9 /. p.bytes_per_lup /. 1e6 in
+  Float.min (float_of_int cores *. single) bw_cap
+
+(** Core count at which the kernel saturates memory bandwidth. *)
+let saturation_cores (m : Machine.t) p =
+  let single = single_core_mlups m p in
+  let bw_cap = m.mem_bw_gbytes *. 1e9 /. p.bytes_per_lup /. 1e6 in
+  int_of_float (Float.ceil (bw_cap /. single))
+
+(** Pick the faster of several kernel-variant alternatives at a given core
+    count; each alternative is a list of kernels executed per time step
+    (split variants have two sweeps).  Returns (index, mlups). *)
+let select_variant (m : Machine.t) ~block_n ~cores variants =
+  let perf kernels =
+    (* sweeps run back to back: times add up, i.e. rates combine harmonically *)
+    let inv =
+      List.fold_left
+        (fun acc k -> acc +. (1. /. multicore_mlups m (predict m k ~block_n) ~cores))
+        0. kernels
+    in
+    1. /. inv
+  in
+  let rated = List.mapi (fun i ks -> (i, perf ks)) variants in
+  List.fold_left (fun (bi, bp) (i, p) -> if p > bp then (i, p) else (bi, bp)) (-1, 0.) rated
+
+let pp ppf p =
+  Fmt.pf ppf "%s: T_OL=%.1f T_nOL=%.1f T_L2=%.1f T_L3=%.1f T_Mem=%.1f cy/CL, %.0f B/LUP"
+    p.kernel p.t_ol p.t_nol p.t_l2 p.t_l3 p.t_mem p.bytes_per_lup

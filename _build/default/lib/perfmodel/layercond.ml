@@ -1,0 +1,61 @@
+(** Layer-condition analysis (paper §3.6, §6.1; Hammer et al. [36]).
+
+    A stencil sweep reuses neighbouring loads across inner-loop iterations
+    only while the required "layers" of each field stay resident in a cache
+    level.  The 3D layer condition demands that, for every field component,
+    all distinct slowest-axis planes currently alive fit: the cache demand
+    is  [8 bytes × Σ_fc span_slow(fc) × N²]  for cubic blocks of edge N.
+    Solving demand ≤ cache size for N yields the spatial blocking factor
+    (the paper derives 232·N² bytes and N < 67 for Skylake's 1 MB L2). *)
+
+open Symbolic
+
+(* Distinct slowest-axis offsets per (field, component, face_axis) of the
+   kernel's loads. *)
+let plane_spans (k : Ir.Kernel.t) =
+  let slow = k.Ir.Kernel.dim - 1 in
+  let table : (string * int * int, int list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (a : Fieldspec.access) ->
+      let key = (a.field.Fieldspec.name, a.component, a.face_axis) in
+      let zs = Option.value (Hashtbl.find_opt table key) ~default:[] in
+      let z = a.offsets.(slow) in
+      if not (List.mem z zs) then Hashtbl.replace table key (z :: zs))
+    (Ir.Kernel.loads k);
+  Hashtbl.fold (fun key zs acc -> (key, List.length zs) :: acc) table []
+
+(** Cache demand coefficient: bytes per N² for cubic blocks (the paper's
+    "232·N²" for μ-full under P1). *)
+let demand_coefficient k =
+  8 * List.fold_left (fun acc (_, span) -> acc + span) 0 (plane_spans k)
+
+(** Largest cubic block edge for which the 3D layer condition holds in a
+    cache of [cache_bytes]. *)
+let blocking_factor k ~cache_bytes =
+  let coeff = demand_coefficient k in
+  if coeff = 0 then max_int else int_of_float (sqrt (float_of_int cache_bytes /. float_of_int coeff))
+
+(** Per-lattice-update traffic (bytes) crossing a cache boundary of size
+    [cache_bytes], for block edge [n].
+
+    If the layer condition holds, each input field component streams in once
+    (one 8-byte read per LUP) and stores cost write-allocate + write-back;
+    if it is violated, every distinct slowest-axis plane of the component is
+    re-fetched. *)
+let traffic_bytes_per_lup (k : Ir.Kernel.t) ~cache_bytes ~n =
+  let coeff = demand_coefficient k in
+  let holds = coeff * n * n <= cache_bytes in
+  let loads =
+    List.fold_left
+      (fun acc (_, span) -> acc + if holds then 1 else span)
+      0 (plane_spans k)
+  in
+  let stores = List.length (Ir.Kernel.stores k) in
+  (* write-allocate + write-back *)
+  float_of_int ((8 * loads) + (16 * stores))
+
+let pp_report ppf (k, cache_bytes) =
+  let coeff = demand_coefficient k in
+  let n = blocking_factor k ~cache_bytes in
+  Fmt.pf ppf "%s: layer-condition demand %d*N^2 bytes, blocking N < %d for %d KiB cache"
+    k.Ir.Kernel.name coeff n (cache_bytes / 1024)

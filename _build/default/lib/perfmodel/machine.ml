@@ -1,0 +1,79 @@
+(** Machine models for the analytic performance analysis.
+
+    Throughput numbers follow vendor instruction tables (Fog [44]) the same
+    way the paper weights its normalized FLOPs: add/mul pipelined at two per
+    cycle with FMA, division ~16× and square root ~10× slower, approximate
+    reciprocal square root ~2×. *)
+
+type t = {
+  name : string;
+  cores_per_socket : int;
+  clock_ghz : float;          (** sustained AVX clock *)
+  simd_width : int;           (** doubles per SIMD vector *)
+  add_per_cycle : float;      (** vector add/sub issue rate *)
+  mul_per_cycle : float;
+  div_cycles : float;         (** reciprocal throughput of vector divide *)
+  sqrt_cycles : float;
+  rsqrt_cycles : float;       (** approximate rsqrt (rsqrt14 on AVX512) *)
+  load_per_cycle : float;     (** vector loads per cycle from L1 *)
+  store_per_cycle : float;
+  cacheline_bytes : int;
+  l1_bytes : int;
+  l2_bytes : int;
+  l3_bytes_per_core : int;
+  l1_l2_bytes_per_cycle : float;
+  l2_l3_bytes_per_cycle : float;
+  mem_bw_gbytes : float;      (** socket main-memory bandwidth *)
+}
+
+(** Intel Xeon Platinum 8174 (SuperMUC-NG), AVX512. *)
+let skylake_8174 =
+  {
+    name = "Skylake-SP 8174";
+    cores_per_socket = 24;
+    clock_ghz = 2.3;
+    simd_width = 8;
+    add_per_cycle = 2.;
+    mul_per_cycle = 2.;
+    div_cycles = 16.;
+    sqrt_cycles = 10.;
+    rsqrt_cycles = 2.;
+    load_per_cycle = 2.;
+    store_per_cycle = 1.;
+    cacheline_bytes = 64;
+    l1_bytes = 32 * 1024;
+    l2_bytes = 1024 * 1024;
+    l3_bytes_per_core = 1408 * 1024;
+    l1_l2_bytes_per_cycle = 64.;
+    l2_l3_bytes_per_cycle = 16.;
+    mem_bw_gbytes = 105.;
+  }
+
+(** Intel Xeon E5-2690 v3 (Piz Daint host), AVX2. *)
+let haswell_2690v3 =
+  {
+    name = "Haswell E5-2690v3";
+    cores_per_socket = 12;
+    clock_ghz = 2.3;
+    simd_width = 4;
+    add_per_cycle = 2.;
+    mul_per_cycle = 2.;
+    div_cycles = 16.;
+    sqrt_cycles = 16.;
+    rsqrt_cycles = 16.;  (* no fast double-precision rsqrt on AVX2 *)
+    load_per_cycle = 2.;
+    store_per_cycle = 1.;
+    cacheline_bytes = 64;
+    l1_bytes = 32 * 1024;
+    l2_bytes = 256 * 1024;
+    l3_bytes_per_core = 2560 * 1024;
+    l1_l2_bytes_per_cycle = 32.;
+    l2_l3_bytes_per_cycle = 16.;
+    mem_bw_gbytes = 60.;
+  }
+
+(** A machine restricted to a narrower SIMD ISA — models the manually
+    optimized AVX2 binary of [2] running on Skylake (paper §6.1: the
+    generated AVX512 code outperforms it by ~20%). *)
+let with_simd_width width m =
+  { m with simd_width = width; name = m.name ^ Printf.sprintf " (simd=%d)" width }

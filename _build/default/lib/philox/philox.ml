@@ -1,0 +1,72 @@
+(** Philox-4x32-10 counter-based random number generator.
+
+    Stateless: each call maps a 128-bit counter and a 64-bit key to four
+    32-bit random words (Salmon et al., SC'11 — reference [31] of the
+    paper).  The discretization layer keys the generator on (cell index,
+    time step) so that cell updates carry no data dependencies (§3.3). *)
+
+let m0 = 0xD2511F53L
+let m1 = 0xCD9E8D57L
+let w0 = 0x9E3779B9 (* golden ratio *)
+let w1 = 0xBB67AE85 (* sqrt 3 - 1 *)
+
+let mask32 = 0xFFFFFFFF
+
+(* 32x32 -> (hi, lo) multiply, via Int64. *)
+let mulhilo m x =
+  let p = Int64.mul m (Int64.of_int (x land mask32)) in
+  let hi = Int64.to_int (Int64.shift_right_logical p 32) land mask32 in
+  let lo = Int64.to_int p land mask32 in
+  (hi, lo)
+
+type ctr = { c0 : int; c1 : int; c2 : int; c3 : int }
+type key = { k0 : int; k1 : int }
+
+let round ctr key =
+  let hi0, lo0 = mulhilo m0 ctr.c0 in
+  let hi1, lo1 = mulhilo m1 ctr.c2 in
+  {
+    c0 = hi1 lxor ctr.c1 lxor key.k0;
+    c1 = lo1;
+    c2 = hi0 lxor ctr.c3 lxor key.k1;
+    c3 = lo0;
+  }
+
+let bump key = { k0 = (key.k0 + w0) land mask32; k1 = (key.k1 + w1) land mask32 }
+
+(** Ten Philox rounds: counter (c0..c3), key (k0,k1) -> four 32-bit words. *)
+let philox4x32_10 ctr key =
+  let rec go n ctr key = if n = 0 then ctr else go (n - 1) (round ctr key) (bump key) in
+  go 10 ctr key
+
+(** Convenience: 4 words from plain integers. *)
+let random_ints ~c0 ~c1 ~c2 ~c3 ~k0 ~k1 =
+  let r =
+    philox4x32_10
+      { c0 = c0 land mask32; c1 = c1 land mask32; c2 = c2 land mask32; c3 = c3 land mask32 }
+      { k0 = k0 land mask32; k1 = k1 land mask32 }
+  in
+  [| r.c0; r.c1; r.c2; r.c3 |]
+
+let two_pow_53 = 9007199254740992.0
+
+(* Combine two 32-bit words into a uniform double in [0, 1): 53 mantissa
+   bits taken from (hi, lo). *)
+let to_unit_float hi lo =
+  let bits = ((hi land mask32) lsl 21) lor ((lo land mask32) lsr 11) in
+  float_of_int bits /. two_pow_53
+
+(** Two uniform doubles in [0,1) from one counter/key pair. *)
+let random_floats ~c0 ~c1 ~c2 ~c3 ~k0 ~k1 =
+  let w = random_ints ~c0 ~c1 ~c2 ~c3 ~k0 ~k1 in
+  (to_unit_float w.(0) w.(1), to_unit_float w.(2) w.(3))
+
+(** Uniform double in (-1, 1), as used for the fluctuation term: the kernel
+    keys on (cell linear index, time step, stream slot). *)
+let symmetric ~cell ~step ~slot =
+  let u, v =
+    random_floats ~c0:(cell land mask32) ~c1:(cell lsr 32) ~c2:step ~c3:slot ~k0:0x5eed
+      ~k1:0xC0FFEE
+  in
+  ignore v;
+  (2. *. u) -. 1.

@@ -1,0 +1,1 @@
+lib/symbolic/cse.ml: Expr Hashtbl List Option Printf

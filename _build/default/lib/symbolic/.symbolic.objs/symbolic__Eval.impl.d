@@ -1,0 +1,1 @@
+lib/symbolic/eval.ml: Cse Expr Fieldspec Fmt Hashtbl List Printf

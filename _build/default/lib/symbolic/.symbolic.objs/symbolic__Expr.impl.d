@@ -1,0 +1,1 @@
+lib/symbolic/expr.ml: Array Fieldspec Float Fmt List Stdlib

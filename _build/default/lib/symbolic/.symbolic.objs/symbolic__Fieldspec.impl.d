@@ -1,0 +1,1 @@
+lib/symbolic/fieldspec.ml: Array Fmt Stdlib String

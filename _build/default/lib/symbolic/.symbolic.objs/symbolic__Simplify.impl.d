@@ -1,0 +1,1 @@
+lib/symbolic/simplify.ml: Expr List

@@ -1,0 +1,104 @@
+(** Global common subexpression elimination.
+
+    Runs across all right-hand sides of a kernel at once ("a global common
+    subexpression elimination step is done across all terms", paper §3.3).
+    Returns a list of temporary bindings in dependency order plus the
+    rewritten expressions.  Single-use temporaries created as a byproduct of
+    nested sharing are inlined again in a cleanup pass. *)
+
+open Expr
+
+type binding = string * t
+
+type result = { bindings : binding list; exprs : t list }
+
+let is_atom = function
+  | Num _ | Sym _ | Coord _ | Rand _ | Access _ -> true
+  | _ -> false
+
+let rebuild_with_children e kids =
+  match (e, kids) with
+  | (Num _ | Sym _ | Coord _ | Rand _ | Access _), _ -> e
+  | Diff (_, d), [ x ] -> Diff (x, d)
+  | Add _, xs -> add xs
+  | Mul _, xs -> mul xs
+  | Pow (_, n), [ b ] -> pow b n
+  | Fun (f, _), xs -> fn f xs
+  | Select (Lt _, _, _), [ a; b; t; f ] -> select (Lt (a, b)) t f
+  | Select (Le _, _, _), [ a; b; t; f ] -> select (Le (a, b)) t f
+  | _ -> invalid_arg "Cse.rebuild_with_children: arity mismatch"
+
+let run ?(prefix = "xi_") exprs =
+  let counts : (t, int) Hashtbl.t = Hashtbl.create 4096 in
+  let rec visit e =
+    if not (is_atom e) then begin
+      let c = Option.value (Hashtbl.find_opt counts e) ~default:0 in
+      Hashtbl.replace counts e (c + 1)
+    end;
+    List.iter visit (children e)
+  in
+  List.iter visit exprs;
+  let shared : (t, t) Hashtbl.t = Hashtbl.create 256 in
+  let bindings = ref [] in
+  let n_bindings = ref 0 in
+  let fresh () =
+    let s = Printf.sprintf "%s%d" prefix !n_bindings in
+    incr n_bindings;
+    s
+  in
+  let rec rewrite e =
+    if is_atom e then e
+    else
+      match Hashtbl.find_opt shared e with
+      | Some s -> s
+      | None ->
+        let rewritten = rebuild_with_children e (List.map rewrite (children e)) in
+        let count = Option.value (Hashtbl.find_opt counts e) ~default:0 in
+        if count >= 2 && not (is_atom rewritten) then begin
+          let name = fresh () in
+          bindings := (name, rewritten) :: !bindings;
+          let s = Sym name in
+          Hashtbl.add shared e s;
+          s
+        end
+        else rewritten
+  in
+  let exprs = List.map rewrite exprs in
+  let bindings = List.rev !bindings in
+  (* cleanup: inline temporaries referenced exactly once *)
+  let uses : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let count_syms e =
+    ignore
+      (fold
+         (fun () n ->
+           match n with
+           | Sym s when Hashtbl.mem uses s ->
+             Hashtbl.replace uses s (Hashtbl.find uses s + 1)
+           | _ -> ())
+         () e)
+  in
+  List.iter (fun (name, _) -> Hashtbl.add uses name 0) bindings;
+  List.iter (fun (_, rhs) -> count_syms rhs) bindings;
+  List.iter count_syms exprs;
+  let inlined : (string, t) Hashtbl.t = Hashtbl.create 64 in
+  let apply_inline e =
+    map_bottom_up
+      (function
+        | Sym s as node -> (
+          match Hashtbl.find_opt inlined s with Some v -> v | None -> node)
+        | node -> node)
+      e
+  in
+  let kept =
+    List.filter_map
+      (fun (name, rhs) ->
+        let rhs = apply_inline rhs in
+        match Hashtbl.find uses name with
+        | 0 -> None
+        | 1 ->
+          Hashtbl.add inlined name rhs;
+          None
+        | _ -> Some (name, rhs))
+      bindings
+  in
+  { bindings = kept; exprs = List.map apply_inline exprs }

@@ -1,0 +1,72 @@
+(** Reference numeric evaluation of expressions.
+
+    Used by tests (checking algebraic passes preserve values) and by the
+    interpreting fallback of the VM.  [Diff] nodes cannot be evaluated — the
+    discretizer must have removed them. *)
+
+open Expr
+
+exception Unbound of string
+
+type env = {
+  sym : string -> float;
+  access : Fieldspec.access -> float;
+  coord : int -> float;
+  rand : int -> float;
+}
+
+let no_sym s = raise (Unbound ("symbol " ^ s))
+let no_access a = raise (Unbound (Fmt.str "access %a" Fieldspec.pp_access a))
+let no_coord d = raise (Unbound (Printf.sprintf "coordinate %d" d))
+let no_rand i = raise (Unbound (Printf.sprintf "random slot %d" i))
+
+let env ?(sym = no_sym) ?(access = no_access) ?(coord = no_coord) ?(rand = no_rand) () =
+  { sym; access; coord; rand }
+
+(** Environment binding only symbols, from an association list. *)
+let of_alist alist =
+  env ~sym:(fun s -> match List.assoc_opt s alist with Some v -> v | None -> no_sym s) ()
+
+let rec eval env e =
+  match e with
+  | Num x -> x
+  | Sym s -> env.sym s
+  | Coord d -> env.coord d
+  | Access a -> env.access a
+  | Rand i -> env.rand i
+  | Diff _ -> invalid_arg "Eval.eval: Diff node survived discretization"
+  | Add xs -> List.fold_left (fun acc x -> acc +. eval env x) 0. xs
+  | Mul xs -> List.fold_left (fun acc x -> acc *. eval env x) 1. xs
+  | Pow (b, n) ->
+    let v = eval env b in
+    if n < 0 then 1. /. (v ** float_of_int (-n)) else v ** float_of_int n
+  | Fun (f, xs) -> (
+    match (f, List.map (eval env) xs) with
+    | Sqrt, [ x ] -> sqrt x
+    | Rsqrt, [ x ] -> 1. /. sqrt x
+    | Exp, [ x ] -> exp x
+    | Log, [ x ] -> log x
+    | Sin, [ x ] -> sin x
+    | Cos, [ x ] -> cos x
+    | Tanh, [ x ] -> tanh x
+    | Fabs, [ x ] -> abs_float x
+    | Fmin, [ a; b ] -> min a b
+    | Fmax, [ a; b ] -> max a b
+    | _ -> invalid_arg "Eval.eval: bad function arity")
+  | Select (c, t, f) ->
+    let holds = match c with
+      | Lt (a, b) -> eval env a < eval env b
+      | Le (a, b) -> eval env a <= eval env b
+    in
+    if holds then eval env t else eval env f
+
+(** Evaluate a CSE binding list followed by the main expressions, threading
+    temporary values through the environment. *)
+let eval_bindings env (bindings : Cse.binding list) exprs =
+  let table : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let sym s =
+    match Hashtbl.find_opt table s with Some v -> v | None -> env.sym s
+  in
+  let env = { env with sym } in
+  List.iter (fun (name, rhs) -> Hashtbl.replace table name (eval env rhs)) bindings;
+  List.map (eval env) exprs

@@ -1,0 +1,1 @@
+lib/vm/buffer.ml: Array Fieldspec Symbolic

@@ -1,0 +1,1 @@
+lib/vm/engine.ml: Array Assignment Buffer Domain Expr Field Fieldspec Float Hashtbl Ir List Option Philox Printf Symbolic

@@ -1,0 +1,153 @@
+(** Field storage: padded flat arrays with ghost layers.
+
+    Layout is structure-of-arrays with axis 0 (x) fastest, matching the
+    "fzyx" layout the generated C uses.  All buffers of one block share the
+    same interior dimensions and ghost width so that kernels can address
+    every field through a single running base index (the base-pointer +
+    linear-index form of paper §3.4). *)
+
+open Symbolic
+
+type t = {
+  field : Fieldspec.t;
+  dims : int array;        (** interior cells per axis *)
+  ghost : int;
+  stride : int array;      (** elements per step along each axis *)
+  comp_stride : int;       (** elements per component slab *)
+  components : int;        (** storage components (× dim for staggered) *)
+  mutable data : float array;
+}
+
+let storage_components (f : Fieldspec.t) =
+  match f.kind with Fieldspec.Cell -> f.components | Fieldspec.Staggered -> f.components * f.dim
+
+let create ?(ghost = 1) (field : Fieldspec.t) dims =
+  if Array.length dims <> field.dim then invalid_arg "Buffer.create: rank mismatch";
+  let padded = Array.map (fun n -> n + (2 * ghost)) dims in
+  let stride = Array.make field.dim 1 in
+  for d = 1 to field.dim - 1 do
+    stride.(d) <- stride.(d - 1) * padded.(d - 1)
+  done;
+  let comp_stride = stride.(field.dim - 1) * padded.(field.dim - 1) in
+  let components = storage_components field in
+  {
+    field;
+    dims = Array.copy dims;
+    ghost;
+    stride;
+    comp_stride;
+    components;
+    data = Array.make (comp_stride * components) 0.;
+  }
+
+(** Linear index of the interior cell [coords] (which may extend into the
+    ghost region when offsets do), component 0. *)
+let base_index t coords =
+  let idx = ref 0 in
+  Array.iteri (fun d c -> idx := !idx + ((c + t.ghost) * t.stride.(d))) coords;
+  !idx
+
+(** Offset (in elements) encoding a relative access: component slab plus
+    cell offsets.  Shared-dims invariant makes this valid for any cell. *)
+let access_delta t (a : Fieldspec.access) =
+  let comp =
+    if a.face_axis >= 0 then (a.component * a.field.dim) + a.face_axis else a.component
+  in
+  let d = ref (comp * t.comp_stride) in
+  Array.iteri (fun ax o -> d := !d + (o * t.stride.(ax))) a.offsets;
+  !d
+
+let get t ?(component = 0) coords = t.data.(base_index t coords + (component * t.comp_stride))
+
+let set t ?(component = 0) coords v =
+  t.data.(base_index t coords + (component * t.comp_stride)) <- v
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+(** Initialize every interior cell (ghosts untouched):
+    [f coords component] gives the value. *)
+let init t f =
+  let dim = t.field.dim in
+  let coords = Array.make dim 0 in
+  let rec loop d =
+    if d = dim then
+      for c = 0 to t.components - 1 do
+        set t ~component:c coords (f (Array.copy coords) c)
+      done
+    else
+      for i = 0 to t.dims.(d) - 1 do
+        coords.(d) <- i;
+        loop (d + 1)
+      done
+  in
+  loop 0
+
+(** Swap the storage of two buffers (the src/dst pointer swap of
+    Algorithm 1). *)
+let swap a b =
+  if a.comp_stride <> b.comp_stride || a.components <> b.components then
+    invalid_arg "Buffer.swap: incompatible buffers";
+  let tmp = a.data in
+  a.data <- b.data;
+  b.data <- tmp
+
+(** Periodic ghost exchange within a single buffer along one axis: ghost
+    slabs are filled from the opposite interior boundary.  Covers already-
+    filled ghosts of previously exchanged axes, so applying it axis by axis
+    also fills edge and corner ghosts. *)
+let periodic_axis t axis =
+  let dim = t.field.dim in
+  let n = t.dims.(axis) in
+  let g = t.ghost in
+  let lo = Array.make dim (-g) and hi = Array.make dim g in
+  Array.iteri (fun d s -> hi.(d) <- s + g) t.dims;
+  ignore lo;
+  (* iterate over the full padded extent of the other axes *)
+  let coords = Array.make dim 0 in
+  let rec loop d =
+    if d = dim then
+      for layer = 0 to g - 1 do
+        for c = 0 to t.components - 1 do
+          (* low ghost <- high interior *)
+          coords.(axis) <- -g + layer;
+          let dst_lo = base_index t coords + (c * t.comp_stride) in
+          coords.(axis) <- n - g + layer;
+          let src_hi = base_index t coords + (c * t.comp_stride) in
+          t.data.(dst_lo) <- t.data.(src_hi);
+          (* high ghost <- low interior *)
+          coords.(axis) <- n + layer;
+          let dst_hi = base_index t coords + (c * t.comp_stride) in
+          coords.(axis) <- layer;
+          let src_lo = base_index t coords + (c * t.comp_stride) in
+          t.data.(dst_hi) <- t.data.(src_lo)
+        done
+      done
+    else if d = axis then loop (d + 1)
+    else
+      for i = -g to t.dims.(d) + g - 1 do
+        coords.(d) <- i;
+        loop (d + 1)
+      done
+  in
+  loop 0
+
+let periodic t =
+  for axis = 0 to t.field.dim - 1 do
+    periodic_axis t axis
+  done
+
+(** Sum of a component over the interior (used by conservation tests). *)
+let interior_sum ?(component = 0) t =
+  let dim = t.field.dim in
+  let coords = Array.make dim 0 in
+  let acc = ref 0. in
+  let rec loop d =
+    if d = dim then acc := !acc +. get t ~component coords
+    else
+      for i = 0 to t.dims.(d) - 1 do
+        coords.(d) <- i;
+        loop (d + 1)
+      done
+  in
+  loop 0;
+  !acc

@@ -1,0 +1,352 @@
+(** Kernel execution engine.
+
+    Compiles the post-optimization assignment list — the *same* IR the C
+    backend prints — into closures over flat float arrays and sweeps it over
+    a block, honoring the lowering result (loop order, hoisted loop-invariant
+    assignments).  Multicore execution slices the outermost loop across
+    OCaml domains, mirroring the generated code's OpenMP parallelization. *)
+
+open Symbolic
+open Field
+
+type ctx = {
+  params : float array;
+  temps : float array;
+  mutable base : int;       (** linear index of the current cell *)
+  mutable cx : int;         (** global cell coordinates *)
+  mutable cy : int;
+  mutable cz : int;
+  mutable step : int;       (** time step, keys the Philox streams *)
+  mutable dx : float;
+  global_dims : int array;
+}
+
+(** A block: the local piece of the domain one rank owns, with one buffer
+    per field.  All buffers share dims and ghost width. *)
+type block = {
+  dims : int array;
+  ghost : int;
+  global_dims : int array;
+  offset : int array;  (** global coordinate of local cell (0,..,0) *)
+  buffers : (Fieldspec.t * Buffer.t) list;
+}
+
+let make_block ?(ghost = 2) ?global_dims ?offset ~dims fields =
+  let dim = Array.length dims in
+  let global_dims = Option.value global_dims ~default:(Array.copy dims) in
+  let offset = Option.value offset ~default:(Array.make dim 0) in
+  let buffers = List.map (fun f -> (f, Buffer.create ~ghost f dims)) fields in
+  { dims; ghost; global_dims; offset; buffers }
+
+let buffer block (f : Fieldspec.t) =
+  match List.find_opt (fun (g, _) -> Fieldspec.equal f g) block.buffers with
+  | Some (_, b) -> b
+  | None -> invalid_arg ("Engine.buffer: no buffer for field " ^ f.Fieldspec.name)
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type binder = {
+  param_slot : string -> int option;
+  temp_slot : string -> int option;
+  resolve : Fieldspec.access -> Buffer.t * int;  (* buffer, element delta *)
+}
+
+let rec compile (b : binder) (e : Expr.t) : ctx -> float =
+  match e with
+  | Expr.Num x -> fun _ -> x
+  | Expr.Sym s -> (
+    match b.temp_slot s with
+    | Some i -> fun c -> Array.unsafe_get c.temps i
+    | None -> (
+      match b.param_slot s with
+      | Some i -> fun c -> Array.unsafe_get c.params i
+      | None -> invalid_arg ("Engine.compile: unbound symbol " ^ s)))
+  | Expr.Coord d ->
+    let pick : ctx -> int =
+      match d with 0 -> (fun c -> c.cx) | 1 -> (fun c -> c.cy) | _ -> fun c -> c.cz
+    in
+    fun c -> (float_of_int (pick c) +. 0.5) *. c.dx
+  | Expr.Access a ->
+    let buf, delta = b.resolve a in
+    fun c -> Array.unsafe_get buf.Buffer.data (c.base + delta)
+  | Expr.Rand slot ->
+    fun c ->
+      let cell = ((c.cz * c.global_dims.(1)) + c.cy) * c.global_dims.(0) + c.cx in
+      Philox.symmetric ~cell ~step:c.step ~slot
+  | Expr.Diff _ -> invalid_arg "Engine.compile: Diff survived discretization"
+  | Expr.Add [ x; y ] ->
+    let fx = compile b x and fy = compile b y in
+    fun c -> fx c +. fy c
+  | Expr.Add [ x; y; z ] ->
+    let fx = compile b x and fy = compile b y and fz = compile b z in
+    fun c -> fx c +. fy c +. fz c
+  | Expr.Add xs ->
+    let fs = Array.of_list (List.map (compile b) xs) in
+    fun c ->
+      let acc = ref 0. in
+      for i = 0 to Array.length fs - 1 do
+        acc := !acc +. (Array.unsafe_get fs i) c
+      done;
+      !acc
+  | Expr.Mul [ x; y ] ->
+    let fx = compile b x and fy = compile b y in
+    fun c -> fx c *. fy c
+  | Expr.Mul [ x; y; z ] ->
+    let fx = compile b x and fy = compile b y and fz = compile b z in
+    fun c -> fx c *. fy c *. fz c
+  | Expr.Mul xs ->
+    let fs = Array.of_list (List.map (compile b) xs) in
+    fun c ->
+      let acc = ref 1. in
+      for i = 0 to Array.length fs - 1 do
+        acc := !acc *. (Array.unsafe_get fs i) c
+      done;
+      !acc
+  | Expr.Pow (x, 2) ->
+    let fx = compile b x in
+    fun c ->
+      let v = fx c in
+      v *. v
+  | Expr.Pow (x, -1) ->
+    let fx = compile b x in
+    fun c -> 1. /. fx c
+  | Expr.Pow (x, -2) ->
+    let fx = compile b x in
+    fun c ->
+      let v = fx c in
+      1. /. (v *. v)
+  | Expr.Pow (x, n) ->
+    let fx = compile b x in
+    let m = abs n in
+    fun c ->
+      let v = fx c in
+      let rec go acc k = if k = 0 then acc else go (acc *. v) (k - 1) in
+      let p = go 1. m in
+      if n < 0 then 1. /. p else p
+  | Expr.Fun (f, [ x ]) ->
+    let fx = compile b x in
+    let g : float -> float =
+      match f with
+      | Expr.Sqrt -> sqrt
+      | Expr.Rsqrt -> fun v -> 1. /. sqrt v
+      | Expr.Exp -> exp
+      | Expr.Log -> log
+      | Expr.Sin -> sin
+      | Expr.Cos -> cos
+      | Expr.Tanh -> tanh
+      | Expr.Fabs -> abs_float
+      | Expr.Fmin | Expr.Fmax -> invalid_arg "Engine.compile: unary min/max"
+    in
+    fun c -> g (fx c)
+  | Expr.Fun (Expr.Fmin, [ x; y ]) ->
+    let fx = compile b x and fy = compile b y in
+    fun c -> Float.min (fx c) (fy c)
+  | Expr.Fun (Expr.Fmax, [ x; y ]) ->
+    let fx = compile b x and fy = compile b y in
+    fun c -> Float.max (fx c) (fy c)
+  | Expr.Fun _ -> invalid_arg "Engine.compile: bad function arity"
+  | Expr.Select (cond, t, f) ->
+    let ft = compile b t and ff = compile b f in
+    let test : ctx -> bool =
+      match cond with
+      | Expr.Lt (x, y) ->
+        let fx = compile b x and fy = compile b y in
+        fun c -> fx c < fy c
+      | Expr.Le (x, y) ->
+        let fx = compile b x and fy = compile b y in
+        fun c -> fx c <= fy c
+    in
+    fun c -> if test c then ft c else ff c
+
+(* ------------------------------------------------------------------ *)
+(* Kernel binding                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type bound = {
+  kernel : Ir.Kernel.t;
+  lowered : Ir.Lower.t;
+  block : block;
+  param_names : string array;
+  n_temps : int;
+  preheader : (ctx -> unit) array;        (* depth 0 *)
+  per_loop : (ctx -> unit) array array;   (* depth 1 .. dim-1 *)
+  body : (ctx -> unit) array;
+  uses_rand : bool;
+}
+
+let compile_assignment binder (a : Assignment.t) : ctx -> unit =
+  let rhs = compile binder a.rhs in
+  match a.lhs with
+  | Assignment.Temp s -> (
+    match binder.temp_slot s with
+    | Some i -> fun c -> Array.unsafe_set c.temps i (rhs c)
+    | None -> assert false)
+  | Assignment.Store acc ->
+    let buf, delta = binder.resolve acc in
+    fun c -> Array.unsafe_set buf.Buffer.data (c.base + delta) (rhs c)
+
+let bind ?(fastest = 0) (kernel : Ir.Kernel.t) (block : block) =
+  let required =
+    kernel.Ir.Kernel.ghost
+    + (match kernel.Ir.Kernel.iteration with
+      | Ir.Kernel.CellSweep -> 0
+      | Ir.Kernel.StaggeredSweep _ -> 1 (* sweeps one layer into the ghosts *))
+  in
+  if required > block.ghost then
+    invalid_arg
+      (Printf.sprintf "Engine.bind: kernel %s needs ghost %d, block has %d"
+         kernel.Ir.Kernel.name required block.ghost);
+  let lowered = Ir.Lower.run ~fastest kernel in
+  let temps = Assignment.defined_temps kernel.Ir.Kernel.body in
+  let temp_table = Hashtbl.create 64 in
+  List.iteri (fun i s -> Hashtbl.replace temp_table s i) temps;
+  let params = Ir.Kernel.parameters kernel in
+  let param_table = Hashtbl.create 16 in
+  List.iteri (fun i s -> Hashtbl.replace param_table s i) params;
+  let binder =
+    {
+      param_slot = Hashtbl.find_opt param_table;
+      temp_slot = Hashtbl.find_opt temp_table;
+      resolve =
+        (fun a ->
+          let buf = buffer block a.Fieldspec.field in
+          (buf, Buffer.access_delta buf a));
+    }
+  in
+  let compile_list l = Array.of_list (List.map (compile_assignment binder) l) in
+  let dim = kernel.Ir.Kernel.dim in
+  let uses_rand =
+    List.exists
+      (fun (a : Assignment.t) ->
+        Expr.fold (fun u n -> u || match n with Expr.Rand _ -> true | _ -> false) false a.rhs)
+      kernel.Ir.Kernel.body
+  in
+  {
+    kernel;
+    lowered;
+    block;
+    param_names = Array.of_list params;
+    n_temps = List.length temps;
+    preheader = compile_list lowered.Ir.Lower.hoisted.(0);
+    per_loop = Array.init (dim - 1) (fun i -> compile_list lowered.Ir.Lower.hoisted.(i + 1));
+    body = compile_list lowered.Ir.Lower.body;
+    uses_rand;
+  }
+
+let run_group g c =
+  for i = 0 to Array.length g - 1 do
+    (Array.unsafe_get g i) c
+  done
+
+(* Sweep one chunk of the outermost loop (3D). *)
+let sweep_chunk_3d (b : bound) (c : ctx) ~range lo0 hi0 =
+  let order = b.lowered.Ir.Lower.loop_order in
+  let a0 = order.(0) and a1 = order.(1) and a2 = order.(2) in
+  let lo1, hi1 = range a1 and lo2, hi2 = range a2 in
+  let block = b.block in
+  let any_buf = snd (List.hd block.buffers) in
+  let stride = any_buf.Buffer.stride in
+  let coords = Array.make 3 0 in
+  let set_coord ax v =
+    coords.(ax) <- v;
+    let g = v + block.offset.(ax) in
+    match ax with 0 -> c.cx <- g | 1 -> c.cy <- g | _ -> c.cz <- g
+  in
+  for i0 = lo0 to hi0 do
+    set_coord a0 i0;
+    run_group b.per_loop.(0) c;
+    for i1 = lo1 to hi1 do
+      set_coord a1 i1;
+      run_group b.per_loop.(1) c;
+      set_coord a2 lo2;
+      c.base <- Buffer.base_index any_buf coords;
+      for i2 = lo2 to hi2 do
+        set_coord a2 i2;
+        run_group b.body c;
+        c.base <- c.base + stride.(a2)
+      done
+    done
+  done
+
+let sweep_chunk_2d (b : bound) (c : ctx) ~range lo0 hi0 =
+  let order = b.lowered.Ir.Lower.loop_order in
+  let a0 = order.(0) and a1 = order.(1) in
+  let lo1, hi1 = range a1 in
+  let block = b.block in
+  let any_buf = snd (List.hd block.buffers) in
+  let stride = any_buf.Buffer.stride in
+  let coords = Array.make 2 0 in
+  let set_coord ax v =
+    coords.(ax) <- v;
+    let g = v + block.offset.(ax) in
+    match ax with 0 -> c.cx <- g | _ -> c.cy <- g
+  in
+  for i0 = lo0 to hi0 do
+    set_coord a0 i0;
+    run_group b.per_loop.(0) c;
+    set_coord a1 lo1;
+    c.base <- Buffer.base_index any_buf coords;
+    for i1 = lo1 to hi1 do
+      set_coord a1 i1;
+      run_group b.body c;
+      c.base <- c.base + stride.(a1)
+    done
+  done
+
+let make_ctx (b : bound) ~params ~step =
+  let values =
+    Array.map
+      (fun name ->
+        match List.assoc_opt name params with
+        | Some v -> v
+        | None -> invalid_arg ("Engine.run: missing parameter " ^ name))
+      b.param_names
+  in
+  {
+    params = values;
+    temps = Array.make (max 1 b.n_temps) 0.;
+    base = 0;
+    cx = 0;
+    cy = 0;
+    cz = 0;
+    step;
+    dx = Option.value (List.assoc_opt "dx" params) ~default:1.;
+    global_dims = b.block.global_dims;
+  }
+
+(** Execute one sweep of the kernel over the block.
+
+    [num_domains > 1] slices the outermost loop across that many OCaml
+    domains (shared buffers; disjoint writes).  [params] must bind every
+    free symbol of the kernel. *)
+let run ?(num_domains = 1) ?(step = 0) ~params (b : bound) =
+  let dim = b.kernel.Ir.Kernel.dim in
+  let range ax =
+    let n = b.block.dims.(ax) in
+    match b.kernel.Ir.Kernel.iteration with
+    | Ir.Kernel.CellSweep -> (0, n - 1)
+    | Ir.Kernel.StaggeredSweep axes -> if List.mem ax axes then (0, n) else (0, n - 1)
+  in
+  let order = b.lowered.Ir.Lower.loop_order in
+  let lo0, hi0 = range order.(0) in
+  let chunk lo hi =
+    let c = make_ctx b ~params ~step in
+    run_group b.preheader c;
+    if dim = 3 then sweep_chunk_3d b c ~range lo hi else sweep_chunk_2d b c ~range lo hi
+  in
+  if num_domains <= 1 || hi0 - lo0 < num_domains then chunk lo0 hi0
+  else begin
+    let n = num_domains in
+    let total = hi0 - lo0 + 1 in
+    let per = (total + n - 1) / n in
+    let spawned =
+      List.init (n - 1) (fun i ->
+          let lo = lo0 + ((i + 1) * per) in
+          let hi = min hi0 (lo + per - 1) in
+          Domain.spawn (fun () -> if lo <= hi then chunk lo hi))
+    in
+    chunk lo0 (min hi0 (lo0 + per - 1));
+    List.iter Domain.join spawned
+  end

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Astring Backend Expr Field Fieldspec Filename Fun Ir Lazy List Option Pfcore Printf String Symbolic Sys Unix Vm

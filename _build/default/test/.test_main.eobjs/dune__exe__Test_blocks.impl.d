@@ -1,0 +1,1 @@
+test/test_blocks.ml: Alcotest Array Blocks Fieldspec Fun Gpumodel List Pfcore Printf Symbolic Vm

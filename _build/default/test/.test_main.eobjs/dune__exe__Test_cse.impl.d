@@ -1,0 +1,1 @@
+test/test_cse.ml: Alcotest Cse Eval Expr Field Fieldspec Float List QCheck QCheck_alcotest String Symbolic Test_expr

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Array Energy Eval Expr Fieldspec Float List Simplify Symbolic

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Array Eval Expr Fieldspec Float QCheck QCheck_alcotest Simplify String Symbolic

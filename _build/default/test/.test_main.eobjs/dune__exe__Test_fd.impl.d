@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest Array Eval Expr Fd Fieldspec Float List QCheck QCheck_alcotest Symbolic

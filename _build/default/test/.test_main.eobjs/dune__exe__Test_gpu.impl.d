@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Assignment Expr Field Fieldspec Gpumodel Ir List Option Pfcore Printf Symbolic

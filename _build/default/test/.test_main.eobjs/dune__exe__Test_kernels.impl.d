@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Backend Field Filename Fun Ir Lazy List Option Pfcore Sys Vm

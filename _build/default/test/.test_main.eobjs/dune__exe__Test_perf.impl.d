@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Lazy List Option Perfmodel Pfcore Printf

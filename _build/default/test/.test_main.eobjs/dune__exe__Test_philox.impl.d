@@ -1,0 +1,1 @@
+test/test_philox.ml: Alcotest Array Philox Printf QCheck QCheck_alcotest

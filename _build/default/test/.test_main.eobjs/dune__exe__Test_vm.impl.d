@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Expr Field Fieldspec Ir List Printf Symbolic Vm

@@ -1,0 +1,243 @@
+(* Distributed-memory substrate: message passing, ghost pack/unpack,
+   forest-vs-single-block equivalence, and the network/scaling models. *)
+
+open Symbolic
+
+let f2 = Fieldspec.scalar ~dim:2 "f"
+
+let test_mpisim_fifo () =
+  let c = Blocks.Mpisim.create 2 in
+  Blocks.Mpisim.send c ~src:0 ~dst:1 ~tag:7 [| 1.; 2. |];
+  Blocks.Mpisim.send c ~src:0 ~dst:1 ~tag:7 [| 3. |];
+  Alcotest.(check (array (float 0.))) "fifo 1" [| 1.; 2. |]
+    (Blocks.Mpisim.recv c ~src:0 ~dst:1 ~tag:7);
+  Alcotest.(check (array (float 0.))) "fifo 2" [| 3. |]
+    (Blocks.Mpisim.recv c ~src:0 ~dst:1 ~tag:7);
+  Alcotest.(check bool) "quiescent" true (Blocks.Mpisim.quiescent c);
+  Alcotest.check_raises "empty queue raises"
+    (Blocks.Mpisim.No_message (1, 0, 0))
+    (fun () -> ignore (Blocks.Mpisim.recv c ~src:1 ~dst:0 ~tag:0))
+
+let test_mpisim_accounting () =
+  let c = Blocks.Mpisim.create 2 in
+  Blocks.Mpisim.send c ~src:0 ~dst:1 ~tag:0 (Array.make 10 0.);
+  Alcotest.(check int) "bytes counted" 80 c.Blocks.Mpisim.bytes_sent;
+  Alcotest.(check int) "messages counted" 1 c.Blocks.Mpisim.messages_sent
+
+let test_ghost_roundtrip () =
+  (* packing a high slab of one buffer into the low ghosts of another is the
+     core of the exchange; verify content placement *)
+  let a = Vm.Buffer.create ~ghost:2 f2 [| 4; 4 |] in
+  let b = Vm.Buffer.create ~ghost:2 f2 [| 4; 4 |] in
+  Vm.Buffer.init a (fun c _ -> float_of_int ((10 * c.(0)) + c.(1)));
+  let slab = Blocks.Ghost.pack a ~axis:0 ~side:Blocks.Ghost.High in
+  Blocks.Ghost.unpack b ~axis:0 ~side:Blocks.Ghost.Low slab;
+  (* b's low ghost column -1 now holds a's interior column 3 *)
+  Alcotest.(check (float 0.)) "ghost content" 31.
+    b.Vm.Buffer.data.(Vm.Buffer.base_index b [| -1; 1 |]);
+  Alcotest.(check (float 0.)) "ghost width 2" 21.
+    b.Vm.Buffer.data.(Vm.Buffer.base_index b [| -2; 1 |])
+
+let test_exchange_bytes_positive () =
+  let a = Vm.Buffer.create ~ghost:2 f2 [| 8; 8 |] in
+  Alcotest.(check bool) "ghost volume positive" true (Blocks.Ghost.exchange_bytes a > 0)
+
+let forest_matches_single variant =
+  let g = Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ()) in
+  let single = Pfcore.Timestep.create ~variant_phi:variant ~dims:[| 16; 16 |] g in
+  Pfcore.Simulation.init_sphere single;
+  Pfcore.Timestep.run single ~steps:4;
+  let forest =
+    Blocks.Forest.create ~variant_phi:variant ~grid:[| 2; 2 |] ~block_dims:[| 8; 8 |] g
+  in
+  Array.iter Pfcore.Simulation.init_sphere forest.Blocks.Forest.sims;
+  Blocks.Forest.prime forest;
+  Blocks.Forest.run forest ~steps:4;
+  let sbuf = Pfcore.Simulation.phi_buffer single in
+  let max_diff = ref 0. in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      for c = 0 to 1 do
+        let a = Vm.Buffer.get sbuf ~component:c [| x; y |] in
+        let b =
+          Blocks.Forest.get forest g.Pfcore.Genkernels.fields.Pfcore.Model.phi_src ~component:c
+            [| x; y |]
+        in
+        let d = abs_float (a -. b) in
+        if d > !max_diff then max_diff := d
+      done
+    done
+  done;
+  !max_diff
+
+let test_forest_equals_single_full () =
+  Alcotest.(check (float 0.)) "bit-exact, full variant" 0.
+    (forest_matches_single Pfcore.Timestep.Full)
+
+let test_forest_equals_single_split () =
+  Alcotest.(check (float 0.)) "bit-exact, split variant" 0.
+    (forest_matches_single Pfcore.Timestep.Split)
+
+let test_forest_3d_p1 () =
+  (* the full P1 model across a 2-rank decomposition along z *)
+  let g = Pfcore.Genkernels.generate (Pfcore.Params.p1 ()) in
+  let single = Pfcore.Timestep.create ~dims:[| 8; 8; 16 |] g in
+  Pfcore.Simulation.init_lamellae single;
+  Pfcore.Timestep.run single ~steps:2;
+  let forest = Blocks.Forest.create ~grid:[| 1; 1; 2 |] ~block_dims:[| 8; 8; 8 |] g in
+  Array.iter Pfcore.Simulation.init_lamellae forest.Blocks.Forest.sims;
+  Blocks.Forest.prime forest;
+  Blocks.Forest.run forest ~steps:2;
+  let fr_single = Pfcore.Simulation.phase_fractions single in
+  let fr_forest = Blocks.Forest.phase_fractions forest in
+  Array.iteri
+    (fun i a -> Alcotest.(check (float 1e-12)) (Printf.sprintf "fraction %d" i) a fr_forest.(i))
+    fr_single
+
+let test_neighbor_wraps () =
+  let g = Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ()) in
+  let forest = Blocks.Forest.create ~grid:[| 3; 1 |] ~block_dims:[| 4; 4 |] g in
+  Alcotest.(check int) "periodic low wrap" 2 (Blocks.Forest.neighbor forest 0 ~axis:0 ~dir:(-1));
+  Alcotest.(check int) "periodic high wrap" 0 (Blocks.Forest.neighbor forest 2 ~axis:0 ~dir:1)
+
+(* --------------- network and scaling models ------------------------ *)
+
+let test_netmodel_monotone () =
+  let net = Blocks.Netmodel.supermuc_ng in
+  let t1 = Blocks.Netmodel.exchange_time_s net ~bytes:1e5 ~neighbors:6 ~ranks:64 in
+  let t2 = Blocks.Netmodel.exchange_time_s net ~bytes:1e6 ~neighbors:6 ~ranks:64 in
+  let t3 = Blocks.Netmodel.exchange_time_s net ~bytes:1e5 ~neighbors:6 ~ranks:100000 in
+  Alcotest.(check bool) "more bytes, more time" true (t2 > t1);
+  Alcotest.(check bool) "more hops, more latency" true (t3 > t1)
+
+let test_weak_scaling_flat () =
+  (* weak scaling must stay near-flat (paper Fig. 3 left) *)
+  let cfg =
+    {
+      Blocks.Scaling.net = Blocks.Netmodel.supermuc_ng;
+      mlups_per_pe = 6.;
+      fields_bytes_per_cell = 96;
+      ghost_width = 1;
+      overlap = true;
+    }
+  in
+  let at ranks = Blocks.Scaling.weak cfg ~block_dims:[| 60; 60; 60 |] ~ranks in
+  let p16 = at 16 and p300k = at 300000 in
+  Alcotest.(check bool) "near-perfect weak scaling" true (p300k > 0.9 *. p16);
+  Alcotest.(check bool) "bounded by node rate" true (p16 <= 6.)
+
+let test_strong_scaling_degrades () =
+  let cfg =
+    {
+      Blocks.Scaling.net = Blocks.Netmodel.supermuc_ng;
+      mlups_per_pe = 6.;
+      fields_bytes_per_cell = 96;
+      ghost_width = 1;
+      overlap = true;
+    }
+  in
+  let eff ranks = fst (Blocks.Scaling.strong cfg ~global_dims:[| 512; 256; 256 |] ~ranks) in
+  let steps ranks = snd (Blocks.Scaling.strong cfg ~global_dims:[| 512; 256; 256 |] ~ranks) in
+  Alcotest.(check bool) "per-PE efficiency drops with tiny blocks" true (eff 150000 < eff 48);
+  Alcotest.(check bool) "but time-steps/s still improves" true (steps 150000 > steps 48)
+
+let test_gpucomm_table2_ordering () =
+  (* Table 2: each optimization helps; combined is best *)
+  let c =
+    Blocks.Gpucomm.costs Gpumodel.Device.p100 Blocks.Netmodel.piz_daint
+      ~block_dims:[| 400; 400; 400 |] ~bytes_per_cell:152 ~flops_per_cell:3000 ~ranks:128
+  in
+  let rate o = Blocks.Gpucomm.mlups_per_gpu c o ~block_dims:[| 400; 400; 400 |] in
+  let base = rate { Blocks.Gpucomm.overlap = false; gpudirect = false } in
+  let gd = rate { Blocks.Gpucomm.overlap = false; gpudirect = true } in
+  let ov = rate { Blocks.Gpucomm.overlap = true; gpudirect = false } in
+  let both = rate { Blocks.Gpucomm.overlap = true; gpudirect = true } in
+  Alcotest.(check bool) "gpudirect > baseline" true (gd > base);
+  Alcotest.(check bool) "overlap > gpudirect alone" true (ov > gd);
+  Alcotest.(check bool) "combined is best" true (both > ov);
+  Alcotest.(check bool) "within ~2x of paper's 395-440 MLUP/s" true
+    (base > 150. && both < 1200.)
+
+let suite =
+  [
+    Alcotest.test_case "mpisim fifo semantics" `Quick test_mpisim_fifo;
+    Alcotest.test_case "mpisim accounting" `Quick test_mpisim_accounting;
+    Alcotest.test_case "ghost pack/unpack" `Quick test_ghost_roundtrip;
+    Alcotest.test_case "ghost volume" `Quick test_exchange_bytes_positive;
+    Alcotest.test_case "forest == single (full)" `Slow test_forest_equals_single_full;
+    Alcotest.test_case "forest == single (split)" `Slow test_forest_equals_single_split;
+    Alcotest.test_case "forest 3D P1" `Slow test_forest_3d_p1;
+    Alcotest.test_case "periodic neighbor wrap" `Quick test_neighbor_wraps;
+    Alcotest.test_case "network model monotone" `Quick test_netmodel_monotone;
+    Alcotest.test_case "weak scaling flat" `Quick test_weak_scaling_flat;
+    Alcotest.test_case "strong scaling shape" `Quick test_strong_scaling_degrades;
+    Alcotest.test_case "Table-2 ordering" `Quick test_gpucomm_table2_ordering;
+  ]
+
+(* --------------- Morton curve & load balancing --------------------- *)
+
+let test_morton_locality () =
+  (* what matters for communication volume is the compactness of the
+     per-rank chunks: cutting the Morton curve into 8 chunks of 8 blocks
+     yields 4x2 boxes (half-perimeter 6) where row-major yields 8x1 strips
+     (half-perimeter 9) *)
+  let grid = [| 8; 8 |] in
+  let chunk_perimeter blocks =
+    let rec chunks acc cur n = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | b :: rest ->
+        if n = 8 then chunks (List.rev cur :: acc) [ b ] 1 rest
+        else chunks acc (b :: cur) (n + 1) rest
+    in
+    let per chunk =
+      let xs = List.map (fun b -> Array.get b 0) chunk and ys = List.map (fun b -> Array.get b 1) chunk in
+      let span l = List.fold_left max min_int l - List.fold_left min max_int l + 1 in
+      span xs + span ys
+    in
+    List.fold_left (fun acc c -> acc + per c) 0 (chunks [] [] 0 blocks)
+  in
+  let curve = Blocks.Morton.curve grid in
+  Alcotest.(check int) "covers all blocks" 64 (List.length curve);
+  let row_major =
+    List.concat_map (fun y -> List.init 8 (fun x -> [| x; y |])) (List.init 8 Fun.id)
+  in
+  Alcotest.(check bool) "morton chunks more compact than row-major strips" true
+    (chunk_perimeter curve < chunk_perimeter row_major);
+  Alcotest.(check int) "no duplicates" 64
+    (List.length (List.sort_uniq compare (List.map Array.to_list curve)))
+
+let test_morton_key_order () =
+  Alcotest.(check bool) "first quadrant first" true
+    (Blocks.Morton.key [| 0; 0 |] < Blocks.Morton.key [| 1; 1 |]);
+  Alcotest.(check bool) "3D keys distinct" true
+    (Blocks.Morton.key [| 1; 2; 3 |] <> Blocks.Morton.key [| 3; 2; 1 |])
+
+let test_balance_uniform () =
+  let blocks = Blocks.Morton.curve [| 4; 4 |] in
+  let assignment, load = Blocks.Morton.balance ~n_ranks:4 ~weights:(fun _ -> 1.) blocks in
+  Alcotest.(check int) "all blocks assigned" 16 (List.length assignment);
+  Alcotest.(check (float 1e-9)) "perfect balance" 1. (Blocks.Morton.imbalance load);
+  (* each rank owns a contiguous chunk of the curve *)
+  let ranks = List.map snd assignment in
+  Alcotest.(check bool) "ranks nondecreasing along curve" true
+    (List.for_all2 ( <= ) (List.filteri (fun i _ -> i < 15) ranks) (List.tl ranks))
+
+let test_balance_weighted () =
+  (* one heavy block: the balancer must not overload its rank further *)
+  let blocks = Blocks.Morton.curve [| 4; 4 |] in
+  let heavy = List.hd blocks in
+  let weights b = if b == heavy then 8. else 1. in
+  let _, load = Blocks.Morton.balance ~n_ranks:4 ~weights blocks in
+  Alcotest.(check bool)
+    (Printf.sprintf "imbalance %.2f below naive 1.83" (Blocks.Morton.imbalance load))
+    true
+    (Blocks.Morton.imbalance load < 1.83)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "morton curve locality" `Quick test_morton_locality;
+      Alcotest.test_case "morton key order" `Quick test_morton_key_order;
+      Alcotest.test_case "uniform load balance" `Quick test_balance_uniform;
+      Alcotest.test_case "weighted load balance" `Quick test_balance_weighted;
+    ]

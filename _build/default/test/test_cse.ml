@@ -1,0 +1,95 @@
+(* Global CSE: value preservation on random expressions, sharing detection,
+   single-use inlining, and assignment-list integration. *)
+
+open Symbolic
+open Expr
+
+let env4 (a, b, c, d) = Eval.of_alist [ ("a", a); ("b", b); ("c", c); ("d", d) ]
+
+let close a b =
+  if not (Float.is_finite a && Float.is_finite b) then a = b || (Float.is_nan a && Float.is_nan b)
+  else
+    let scale = Float.max 1. (Float.max (abs_float a) (abs_float b)) in
+    abs_float (a -. b) /. scale < 1e-9
+
+let test_extracts_shared () =
+  let a = sym "a" and b = sym "b" in
+  (* the sum s flattens into e2 (Add is n-ary), so the repeated subterm the
+     CSE can actually see is s itself in e1/e3 *)
+  let s = add [ a; mul [ num 2.; b ] ] in
+  let e1 = mul [ s; sym "c" ] and e3 = mul [ s; sym "d" ] in
+  let r = Cse.run [ e1; e3 ] in
+  Alcotest.(check int) "one shared binding" 1 (List.length r.Cse.bindings);
+  let name, rhs = List.hd r.Cse.bindings in
+  Alcotest.(check bool) "binding is the shared sum" true (equal rhs s);
+  List.iter
+    (fun e -> Alcotest.(check bool) "uses the temp" true (List.mem name (free_syms e)))
+    r.Cse.exprs
+
+let test_no_sharing_no_bindings () =
+  let r = Cse.run [ add [ sym "a"; sym "b" ]; mul [ sym "c"; sym "d" ] ] in
+  Alcotest.(check int) "no bindings" 0 (List.length r.Cse.bindings)
+
+let test_nested_single_use_inlined () =
+  (* nested sharing creates chains; single-use temps must be inlined back *)
+  let a = sym "a" in
+  let inner = add [ a; num 1. ] in
+  let outer = mul [ inner; inner; sym "b" ] in
+  let r = Cse.run [ outer ] in
+  (* (a+1)*(a+1) normalizes to (a+1)^2: nothing shared across exprs *)
+  List.iter
+    (fun (_, rhs) -> Alcotest.(check bool) "no trivial binding" true (Cse.is_atom rhs = false))
+    r.Cse.bindings
+
+let prop_cse_preserves_values =
+  QCheck.Test.make ~name:"cse preserves values" ~count:300
+    (QCheck.pair
+       (QCheck.pair Test_expr.arb_expr Test_expr.arb_expr)
+       Test_expr.arb_env)
+    (fun ((e1, e2), env) ->
+      let env = env4 env in
+      let r = Cse.run [ e1; e2 ] in
+      let values = Eval.eval_bindings env r.Cse.bindings r.Cse.exprs in
+      match values with
+      | [ v1; v2 ] -> close v1 (Eval.eval env e1) && close v2 (Eval.eval env e2)
+      | _ -> false)
+
+let prop_cse_bindings_are_ssa =
+  QCheck.Test.make ~name:"cse bindings in dependency order" ~count:200 Test_expr.arb_expr
+    (fun e ->
+      let r = Cse.run [ e; mul [ e; num 2. ] ] in
+      let defined = ref [] in
+      List.for_all
+        (fun (name, rhs) ->
+          let ok =
+            List.for_all
+              (fun s -> (not (String.length s > 3 && String.sub s 0 3 = "xi_")) || List.mem s !defined)
+              (free_syms rhs)
+          in
+          defined := name :: !defined;
+          ok)
+        r.Cse.bindings)
+
+let test_assignment_cse () =
+  let f = Fieldspec.scalar ~dim:2 "f" in
+  let g = Fieldspec.scalar ~dim:2 "g" in
+  let shared = add [ field f; num 1. ] in
+  let body =
+    [
+      Field.Assignment.store (Fieldspec.center g) (mul [ shared; num 2. ]);
+      Field.Assignment.store (Fieldspec.center ~component:0 g) (mul [ shared; num 3. ]);
+    ]
+  in
+  let out = Field.Assignment.cse body in
+  Alcotest.(check int) "one temp + two stores" 3 (List.length out);
+  Field.Assignment.check_ssa out
+
+let suite =
+  [
+    Alcotest.test_case "extracts shared subexpression" `Quick test_extracts_shared;
+    Alcotest.test_case "no sharing, no bindings" `Quick test_no_sharing_no_bindings;
+    Alcotest.test_case "single-use temps inlined" `Quick test_nested_single_use_inlined;
+    Alcotest.test_case "assignment-list cse" `Quick test_assignment_cse;
+    QCheck_alcotest.to_alcotest prop_cse_preserves_values;
+    QCheck_alcotest.to_alcotest prop_cse_bindings_are_ssa;
+  ]

@@ -1,0 +1,124 @@
+(* Energy functional layer: variational derivatives against known
+   Euler–Lagrange results, and the model building blocks. *)
+
+open Symbolic
+open Expr
+
+let f2 = Fieldspec.scalar ~dim:2 "f"
+let u = field f2
+
+let test_varder_bulk_term () =
+  (* δ/δu ∫ u² = 2u *)
+  let d = Energy.Varder.run ~dim:2 (pow u 2) ~wrt:u in
+  Alcotest.(check bool) "2u" true (equal d (mul [ num 2.; u ]))
+
+let test_varder_gradient_term () =
+  (* δ/δu ∫ |∇u|² = −2∇·∇u: one flux term per axis wrapping 2∂u *)
+  let d = Energy.Varder.run ~dim:2 (Energy.Varder.grad_sq ~dim:2 u) ~wrt:u in
+  let expected =
+    add
+      [
+        neg (Diff (mul [ num 2.; Diff (u, 0) ], 0));
+        neg (Diff (mul [ num 2.; Diff (u, 1) ], 1));
+      ]
+  in
+  Alcotest.(check bool) "Euler-Lagrange of Dirichlet energy" true (equal d expected)
+
+let test_varder_mixed () =
+  (* ∫ u·∂x u is a pure boundary term: its variational derivative vanishes
+     (bulk ∂x u cancels against the flux divergence) *)
+  let density = mul [ u; Diff (u, 0) ] in
+  let d = Energy.Varder.run ~dim:2 density ~wrt:u in
+  Alcotest.(check bool) "boundary term has zero variation" true (equal d zero)
+
+let test_interpolation_h () =
+  let value x = Eval.eval (Eval.of_alist [ ("x", x) ]) (Energy.Functional.h (sym "x")) in
+  Alcotest.(check (float 1e-12)) "h(0)=0" 0. (value 0.);
+  Alcotest.(check (float 1e-12)) "h(1)=1" 1. (value 1.);
+  Alcotest.(check (float 1e-12)) "h(1/2)=1/2" 0.5 (value 0.5);
+  (* zero slope at the ends *)
+  let h' = diff (Energy.Functional.h (sym "x")) ~wrt:(sym "x") in
+  let slope x = Eval.eval (Eval.of_alist [ ("x", x) ]) h' in
+  Alcotest.(check (float 1e-12)) "h'(0)=0" 0. (slope 0.);
+  Alcotest.(check (float 1e-12)) "h'(1)=0" 0. (slope 1.)
+
+let test_obstacle_potential () =
+  let phis = [| sym "p0"; sym "p1"; sym "p2" |] in
+  let w =
+    Energy.Functional.obstacle ~gamma:(fun _ _ -> num 1.) ~gamma3:(fun _ _ _ -> num 2.) ~phis
+  in
+  let at p0 p1 p2 = Eval.eval (Eval.of_alist [ ("p0", p0); ("p1", p1); ("p2", p2) ]) w in
+  Alcotest.(check (float 1e-12)) "vanishes in bulk" 0. (at 1. 0. 0.);
+  let expected_pair = 16. /. (Float.pi *. Float.pi) *. 0.25 in
+  Alcotest.(check (float 1e-12)) "two-phase value" expected_pair (at 0.5 0.5 0.);
+  Alcotest.(check bool) "triple term positive" true
+    (at 0.4 0.3 0.3 > at 0.4 0.3 0. *. 0.99)
+
+let test_generalized_gradient_antisymmetry () =
+  let a = field (Fieldspec.create ~dim:2 ~components:2 "p") in
+  let b = field ~component:1 (Fieldspec.create ~dim:2 ~components:2 "p") in
+  let qab = Energy.Functional.generalized_gradient ~dim:2 a b in
+  let qba = Energy.Functional.generalized_gradient ~dim:2 b a in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check bool) "q_ab = -q_ba" true
+        (equal (Simplify.expand x) (Simplify.expand (neg y))))
+    qab qba
+
+let test_cubic_anisotropy_limits () =
+  (* along an axis direction the cubic term reaches 1 - delta*(3-4) = 1+δ;
+     along the diagonal in 2D: Σq⁴/|q|⁴ = 1/2 → 1 - δ *)
+  let delta = 0.3 in
+  let eval_a qx qy =
+    let q = [ sym "qx"; sym "qy" ] in
+    let norm = add [ pow (sym "qx") 2; pow (sym "qy") 2 ] in
+    let a =
+      Energy.Functional.cubic_anisotropy ~delta:(num delta) ~rotation:None q ~norm_sq:norm
+    in
+    Eval.eval (Eval.of_alist [ ("qx", qx); ("qy", qy); ("q_eps", 1e-12) ]) a
+  in
+  Alcotest.(check (float 1e-9)) "axis direction" (1. +. delta) (eval_a 1. 0.);
+  Alcotest.(check (float 1e-9)) "diagonal" (1. -. delta) (eval_a (sqrt 0.5) (sqrt 0.5));
+  Alcotest.(check (float 1e-9)) "bulk guard" 1. (eval_a 0. 0.)
+
+let test_rotation_invariance_of_norm () =
+  (* rotations only redistribute the quartic term; a 90° rotation maps the
+     cubic anisotropy onto itself *)
+  let delta = 0.3 in
+  let rot = [| [| 0.; -1. |]; [| 1.; 0. |] |] in
+  let q = [ sym "qx"; sym "qy" ] in
+  let norm = add [ pow (sym "qx") 2; pow (sym "qy") 2 ] in
+  let a r = Energy.Functional.cubic_anisotropy ~delta:(num delta) ~rotation:r q ~norm_sq:norm in
+  let at e qx qy = Eval.eval (Eval.of_alist [ ("qx", qx); ("qy", qy); ("q_eps", 1e-12) ]) e in
+  Alcotest.(check (float 1e-9)) "fourfold symmetry" (at (a None) 0.6 0.8)
+    (at (a (Some rot)) 0.6 0.8)
+
+let test_parabolic_concentration () =
+  (* c = -(2Aμ + B); with A=-1/2, B=0: c = μ *)
+  let mu = [| sym "mu" |] in
+  let c =
+    Energy.Functional.concentration ~a:[| [| num (-0.5) |] |] ~b:[| num 0. |] ~mu
+  in
+  Alcotest.(check bool) "c = mu" true (equal c.(0) (sym "mu"))
+
+let test_driving_force_interpolates () =
+  let phis = [| sym "p0"; sym "p1" |] in
+  let psis = [| num 2.; num 6. |] in
+  let psi = Energy.Functional.driving_force ~psis ~phis in
+  let at p0 p1 = Eval.eval (Eval.of_alist [ ("p0", p0); ("p1", p1) ]) psi in
+  Alcotest.(check (float 1e-12)) "pure phase 0" 2. (at 1. 0.);
+  Alcotest.(check (float 1e-12)) "pure phase 1" 6. (at 0. 1.)
+
+let suite =
+  [
+    Alcotest.test_case "varder: bulk term" `Quick test_varder_bulk_term;
+    Alcotest.test_case "varder: gradient term" `Quick test_varder_gradient_term;
+    Alcotest.test_case "varder: mixed term" `Quick test_varder_mixed;
+    Alcotest.test_case "interpolation h" `Quick test_interpolation_h;
+    Alcotest.test_case "obstacle potential" `Quick test_obstacle_potential;
+    Alcotest.test_case "generalized gradient antisymmetry" `Quick test_generalized_gradient_antisymmetry;
+    Alcotest.test_case "cubic anisotropy limits" `Quick test_cubic_anisotropy_limits;
+    Alcotest.test_case "anisotropy fourfold symmetry" `Quick test_rotation_invariance_of_norm;
+    Alcotest.test_case "parabolic concentration" `Quick test_parabolic_concentration;
+    Alcotest.test_case "driving force interpolation" `Quick test_driving_force_interpolates;
+  ]

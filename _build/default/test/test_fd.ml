@@ -1,0 +1,189 @@
+(* Finite-difference discretization: exactness on polynomials, the
+   staggered divergence-of-fluxes scheme, interpolation, and the split
+   kernel registry. *)
+
+open Symbolic
+open Expr
+
+let scheme = Fd.Discretize.create ~dx:(num 1.) ~dim:2 ()
+
+let f2 = Fieldspec.scalar ~dim:2 "f"
+let g2 = Fieldspec.scalar ~dim:2 "g"
+
+(* Environment where field f samples a function of the (relative) grid
+   position and g samples another. *)
+let grid_env ~f ~g =
+  Eval.env
+    ~access:(fun (a : Fieldspec.access) ->
+      let x = float_of_int a.offsets.(0) and y = float_of_int a.offsets.(1) in
+      match a.field.Fieldspec.name with
+      | "f" -> f x y
+      | "g" -> g x y
+      | other -> failwith other)
+    ()
+
+let check = Alcotest.(check (float 1e-9))
+
+let test_central_exact_on_linear () =
+  let e = Fd.Discretize.discretize scheme (Diff (field f2, 0)) in
+  let env = grid_env ~f:(fun x y -> (3. *. x) +. (2. *. y) +. 5.) ~g:(fun _ _ -> 0.) in
+  check "d/dx of 3x+2y+5" 3. (Eval.eval env e)
+
+let test_central_exact_on_quadratic () =
+  (* central differences are 2nd order: exact for quadratics *)
+  let e = Fd.Discretize.discretize scheme (Diff (field f2, 1)) in
+  let env = grid_env ~f:(fun _ y -> (4. *. y *. y) +. y) ~g:(fun _ _ -> 0.) in
+  (* at y=0: d/dy (4y^2 + y) = 1 *)
+  check "d/dy quadratic at 0" 1. (Eval.eval env e)
+
+let test_laplacian () =
+  let lap = add [ Diff (Diff (field f2, 0), 0); Diff (Diff (field f2, 1), 1) ] in
+  let e = Fd.Discretize.discretize scheme lap in
+  let env = grid_env ~f:(fun x y -> (x *. x) +. (2. *. y *. y)) ~g:(fun _ _ -> 0.) in
+  check "laplacian of x^2+2y^2" 6. (Eval.eval env e)
+
+let test_divergence_constant_coefficient () =
+  (* ∇·(3∇f) = 3∇²f, staggered scheme *)
+  let flux d = mul [ num 3.; Diff (field f2, d) ] in
+  let e =
+    Fd.Discretize.discretize scheme (add [ Diff (flux 0, 0); Diff (flux 1, 1) ])
+  in
+  let env = grid_env ~f:(fun x y -> (x *. x) +. (y *. y)) ~g:(fun _ _ -> 0.) in
+  check "div(3 grad f)" 12. (Eval.eval env e)
+
+let test_divergence_variable_coefficient () =
+  (* ∇·(g ∂x f) along x only; compare against the hand-built staggered
+     stencil with interpolated g *)
+  let e = Fd.Discretize.discretize scheme (Diff (mul [ field g2; Diff (field f2, 0) ], 0)) in
+  let fv x y = (x *. x) +. y and gv x _ = 2. +. x in
+  let env = grid_env ~f:fv ~g:gv in
+  let g_right = (gv 0. 0. +. gv 1. 0.) /. 2. and g_left = (gv (-1.) 0. +. gv 0. 0.) /. 2. in
+  let df_right = fv 1. 0. -. fv 0. 0. and df_left = fv 0. 0. -. fv (-1.) 0. in
+  check "variable-coefficient flux" ((g_right *. df_right) -. (g_left *. df_left))
+    (Eval.eval env e)
+
+let test_staggered_interpolation () =
+  let e = Fd.Discretize.stag_eval scheme (field f2) 0 in
+  let env = grid_env ~f:(fun x _ -> 10. +. x) ~g:(fun _ _ -> 0.) in
+  check "cell value interpolated to face" 10.5 (Eval.eval env e)
+
+let test_cross_derivative_at_face () =
+  (* ∂y f at an x-face averages the two adjacent central differences *)
+  let e = Fd.Discretize.stag_eval scheme (Diff (field f2, 1)) 0 in
+  let env = grid_env ~f:(fun x y -> y *. (1. +. x)) ~g:(fun _ _ -> 0.) in
+  (* ∂y f = 1 + x; at face x=1/2: 1.5 *)
+  check "cross derivative" 1.5 (Eval.eval env e)
+
+let test_shift_coord () =
+  let e = Fd.Discretize.shift_expr scheme (coord 0) 0 3 in
+  let env = Eval.env ~coord:(fun _ -> 2.) () in
+  check "coordinate shifts by k*dx" 5. (Eval.eval env e)
+
+let test_no_diff_left () =
+  let flux d = mul [ field g2; Diff (field f2, d) ] in
+  let e =
+    Fd.Discretize.discretize scheme
+      (add [ Diff (flux 0, 0); Diff (flux 1, 1); pow (Diff (field f2, 0)) 2 ])
+  in
+  Alcotest.(check bool) "all Diff nodes eliminated" false
+    (Fd.Discretize.contains_diff e)
+
+let test_split_registry () =
+  let stag = Fieldspec.create ~kind:Fieldspec.Staggered ~dim:2 ~components:2 "st" in
+  let registry = Fd.Discretize.make_registry stag in
+  let flux d = mul [ field g2; Diff (field f2, d) ] in
+  let rhs = add [ Diff (flux 0, 0); Diff (flux 1, 1) ] in
+  let main1 = Fd.Discretize.discretize_split scheme ~registry rhs in
+  (* a second PDE with the same fluxes must reuse the same slots *)
+  let main2 = Fd.Discretize.discretize_split scheme ~registry (mul [ num 2.; rhs ]) in
+  let body = Fd.Discretize.registry_kernel_body registry in
+  Alcotest.(check int) "one staggered assignment per axis" 2 (List.length body);
+  Alcotest.(check bool) "main reads staggered field" true
+    (List.exists
+       (fun (a : Fieldspec.access) -> a.face_axis >= 0)
+       (Expr.accesses main1));
+  Alcotest.(check bool) "dedup across PDEs" true
+    (List.length (Expr.accesses main2) > 0)
+
+let test_extent_and_euler () =
+  let e = Fd.Discretize.discretize scheme (Diff (Diff (field f2, 0), 0)) in
+  let store =
+    Fd.Discretize.explicit_euler ~dt:(num 0.1) ~src:(Fieldspec.center f2)
+      ~dst:(Fieldspec.center g2) e
+  in
+  let ext = Fd.Discretize.extent [ store ] in
+  Alcotest.(check (pair int int)) "x extent" (-1, 1) ext.(0)
+
+let suite =
+  [
+    Alcotest.test_case "central diff exact on linear" `Quick test_central_exact_on_linear;
+    Alcotest.test_case "central diff exact on quadratic" `Quick test_central_exact_on_quadratic;
+    Alcotest.test_case "laplacian" `Quick test_laplacian;
+    Alcotest.test_case "divergence, constant coefficient" `Quick test_divergence_constant_coefficient;
+    Alcotest.test_case "divergence, variable coefficient" `Quick test_divergence_variable_coefficient;
+    Alcotest.test_case "staggered interpolation" `Quick test_staggered_interpolation;
+    Alcotest.test_case "cross derivative at face" `Quick test_cross_derivative_at_face;
+    Alcotest.test_case "coordinate shift" `Quick test_shift_coord;
+    Alcotest.test_case "no Diff survives" `Quick test_no_diff_left;
+    Alcotest.test_case "split flux registry" `Quick test_split_registry;
+    Alcotest.test_case "extent and Euler" `Quick test_extent_and_euler;
+  ]
+
+(* --------------- properties ---------------------------------------- *)
+
+let grid_env_poly coeffs =
+  grid_env
+    ~f:(fun x y ->
+      let a, b, c, d = coeffs in
+      a +. (b *. x) +. (c *. y) +. (d *. x *. y))
+    ~g:(fun _ _ -> 0.)
+
+let arb_poly =
+  QCheck.make
+    QCheck.Gen.(
+      quad (float_range (-2.) 2.) (float_range (-2.) 2.) (float_range (-2.) 2.)
+        (float_range (-2.) 2.))
+
+let prop_central_exact_on_bilinear =
+  (* central differences are exact on bilinear functions, any coefficients *)
+  QCheck.Test.make ~name:"central diff exact on bilinear" ~count:200 arb_poly
+    (fun ((_, b, _, d) as coeffs) ->
+      let e = Fd.Discretize.discretize scheme (Diff (field f2, 0)) in
+      (* at the origin cell: d/dx (a + bx + cy + dxy) = b + d*y = b *)
+      abs_float (Eval.eval (grid_env_poly coeffs) e -. b) < 1e-9 && Float.is_finite d)
+
+let prop_discretization_linear =
+  (* discretize (alpha*u + beta*v) = alpha*discretize u + beta*discretize v *)
+  QCheck.Test.make ~name:"discretization is linear" ~count:200
+    (QCheck.pair arb_poly (QCheck.pair QCheck.(float_range (-3.) 3.) QCheck.(float_range (-3.) 3.)))
+    (fun (coeffs, (alpha, beta)) ->
+      let u = Diff (Diff (field f2, 0), 0) and v = Diff (field f2, 1) in
+      let lhs =
+        Fd.Discretize.discretize scheme (add [ mul [ num alpha; u ]; mul [ num beta; v ] ])
+      in
+      let rhs =
+        add
+          [
+            mul [ num alpha; Fd.Discretize.discretize scheme u ];
+            mul [ num beta; Fd.Discretize.discretize scheme v ];
+          ]
+      in
+      let env = grid_env_poly coeffs in
+      abs_float (Eval.eval env lhs -. Eval.eval env rhs) < 1e-9)
+
+let prop_shift_composes =
+  QCheck.Test.make ~name:"shift_expr composes additively" ~count:200
+    QCheck.(pair (int_range (-3) 3) (int_range (-3) 3))
+    (fun (j, k) ->
+      let e = add [ field f2; coord 0 ] in
+      Expr.equal
+        (Fd.Discretize.shift_expr scheme (Fd.Discretize.shift_expr scheme e 0 j) 0 k)
+        (Fd.Discretize.shift_expr scheme e 0 (j + k)))
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest prop_central_exact_on_bilinear;
+      QCheck_alcotest.to_alcotest prop_discretization_linear;
+      QCheck_alcotest.to_alcotest prop_shift_composes;
+    ]

@@ -1,0 +1,195 @@
+(* GPU model: liveness, Kessler scheduling, rematerialization, the nvcc
+   load-hoisting model, occupancy, and the evolutionary tuner — the
+   machinery behind the paper's Fig. 2 (right). *)
+
+open Symbolic
+open Expr
+open Field
+
+(* A small kernel with deliberately poor statement order: all definitions
+   first, all uses at the very end — each (def, use, store) chain is
+   independent, so a good schedule interleaves them and the peak liveness
+   drops to O(1). *)
+let g2 = Fieldspec.scalar ~dim:2 "g"
+let f2 = Fieldspec.scalar ~dim:2 "f"
+let out = Fieldspec.create ~dim:2 ~components:32 "out"
+
+let bad_order_body n =
+  let defs =
+    List.init n (fun i ->
+        Assignment.assign_temp (Printf.sprintf "t%d" i)
+          (add
+             [
+               access (Fieldspec.shift (Fieldspec.center f2) 0 (i - (n / 2)));
+               num (float_of_int i);
+             ]))
+  in
+  let uses =
+    List.init n (fun i ->
+        Assignment.assign_temp (Printf.sprintf "u%d" i)
+          (mul [ sym (Printf.sprintf "t%d" i); sym (Printf.sprintf "t%d" i) ]))
+  in
+  let stores =
+    List.init n (fun i ->
+        Assignment.store (Fieldspec.center ~component:i out) (sym (Printf.sprintf "u%d" i)))
+  in
+  defs @ uses @ stores
+
+let test_max_live_counts () =
+  let body =
+    [
+      Assignment.assign_temp "a" (field f2);
+      Assignment.assign_temp "b" (mul [ sym "a"; num 2. ]);
+      Assignment.store (Fieldspec.center g2) (add [ sym "a"; sym "b" ]);
+    ]
+  in
+  (* a alive through b's def: peak 2 *)
+  Alcotest.(check int) "peak liveness" 2 (Gpumodel.Liveness.max_live body)
+
+let test_dead_temp_not_counted () =
+  let body =
+    [
+      Assignment.assign_temp "dead" (field f2);
+      Assignment.store (Fieldspec.center g2) (num 1.);
+    ]
+  in
+  Alcotest.(check int) "unused temp never live" 0 (Gpumodel.Liveness.max_live body)
+
+let test_kessler_reduces_pressure () =
+  let body = bad_order_body 12 in
+  let before = Gpumodel.Liveness.max_live body in
+  let after = Gpumodel.Liveness.max_live (Gpumodel.Kessler.schedule ~beam:8 body) in
+  Alcotest.(check bool)
+    (Printf.sprintf "scheduling helps: %d -> %d" before after)
+    true (after < before)
+
+let test_kessler_preserves_semantics () =
+  let body = bad_order_body 6 in
+  let scheduled = Gpumodel.Kessler.schedule ~beam:4 body in
+  Assignment.check_ssa scheduled;
+  Alcotest.(check int) "same statement count" (List.length body) (List.length scheduled);
+  let stores = Assignment.stores scheduled in
+  Alcotest.(check int) "all stores survive" 6 (List.length stores)
+
+let test_greedy_beam_no_worse_than_input () =
+  let body = bad_order_body 10 in
+  let greedy = Gpumodel.Liveness.max_live (Gpumodel.Kessler.schedule ~beam:1 body) in
+  let wide = Gpumodel.Liveness.max_live (Gpumodel.Kessler.schedule ~beam:20 body) in
+  Alcotest.(check bool) "wider beam at least as good" true (wide <= greedy)
+
+let test_remat_inlines_cheap () =
+  let body =
+    [
+      Assignment.assign_temp "cheap" (mul [ num 2.; field f2 ]);
+      Assignment.store (Fieldspec.center g2) (add [ sym "cheap"; num 1. ]);
+      Assignment.store (Fieldspec.center ~component:0 f2) (add [ sym "cheap"; num 2. ]);
+    ]
+  in
+  let out = Gpumodel.Remat.run body in
+  Alcotest.(check int) "temp inlined away" 2 (List.length out);
+  Assignment.check_ssa out
+
+let test_remat_keeps_expensive () =
+  let expensive =
+    Assignment.assign_temp "ex" (sqrt_ (add [ pow (field f2) 2; pow (field g2) 2 ]))
+  in
+  let body =
+    [
+      expensive;
+      Assignment.store (Fieldspec.center g2) (mul [ sym "ex"; num 2. ]);
+    ]
+  in
+  Alcotest.(check int) "sqrt not duplicated" 2 (List.length (Gpumodel.Remat.run body))
+
+let test_nvcc_hoist_raises_pressure () =
+  let body = Gpumodel.Kessler.schedule ~beam:8 (bad_order_body 12) in
+  let ours = Gpumodel.Liveness.max_live body in
+  let nvcc = Gpumodel.Liveness.max_live (Gpumodel.Liveness.nvcc_load_hoist body) in
+  Alcotest.(check bool) "modeled compiler hoisting hurts" true (nvcc >= ours)
+
+let test_fence_limits_hoisting () =
+  let body = Gpumodel.Kessler.schedule ~beam:8 (bad_order_body 16) in
+  let free = Gpumodel.Transforms.apply [] body in
+  let fenced = Gpumodel.Transforms.apply [ Gpumodel.Transforms.Fence 4 ] body in
+  let r_free = Gpumodel.Transforms.registers free in
+  let r_fenced = Gpumodel.Transforms.registers fenced in
+  Alcotest.(check bool)
+    (Printf.sprintf "fences cap nvcc registers: %d vs %d" r_fenced.Gpumodel.Transforms.nvcc
+       r_free.Gpumodel.Transforms.nvcc)
+    true
+    (r_fenced.Gpumodel.Transforms.nvcc <= r_free.Gpumodel.Transforms.nvcc)
+
+let test_occupancy_model () =
+  let dev = Gpumodel.Device.p100 in
+  let occ64 = Gpumodel.Device.occupancy dev ~registers:64 in
+  let occ128 = Gpumodel.Device.occupancy dev ~registers:128 in
+  let occ255 = Gpumodel.Device.occupancy dev ~registers:255 in
+  Alcotest.(check bool) "more registers, less occupancy" true (occ64 > occ128 && occ128 > occ255);
+  (* paper: dropping below 128 registers doubles occupancy vs 255 *)
+  Alcotest.(check bool) "128 vs 256 doubles occupancy" true (occ128 >= 1.9 *. occ255);
+  Alcotest.(check (float 0.)) "no spill below cap" 1. (Gpumodel.Device.spill_penalty dev ~registers:200);
+  Alcotest.(check bool) "spilling penalized" true (Gpumodel.Device.spill_penalty dev ~registers:400 > 1.)
+
+let test_fig2right_pipeline () =
+  (* the Fig. 2 (right) experiment on a real generated μ-full kernel: the
+     combined transformation sequence must reduce modeled registers and
+     runtime vs the untransformed kernel *)
+  let g = Pfcore.Genkernels.generate (Pfcore.Params.p1 ()) in
+  let body = (Option.get g.Pfcore.Genkernels.mu_full).Ir.Kernel.body in
+  let dev = Gpumodel.Device.p100 in
+  let none = Gpumodel.Transforms.apply [] body in
+  let combined =
+    Gpumodel.Transforms.apply
+      [
+        Gpumodel.Transforms.Remat Gpumodel.Remat.default;
+        Gpumodel.Transforms.Sched 20;
+        Gpumodel.Transforms.Fence 32;
+      ]
+      body
+  in
+  let r0 = Gpumodel.Transforms.registers none in
+  let r1 = Gpumodel.Transforms.registers combined in
+  Alcotest.(check bool)
+    (Printf.sprintf "registers reduced: %d -> %d" r0.Gpumodel.Transforms.nvcc
+       r1.Gpumodel.Transforms.nvcc)
+    true
+    (r1.Gpumodel.Transforms.nvcc < r0.Gpumodel.Transforms.nvcc);
+  Alcotest.(check bool) "runtime improves" true
+    (Gpumodel.Transforms.modeled_time dev combined <= Gpumodel.Transforms.modeled_time dev none)
+
+let test_evotune_improves_baseline () =
+  let g = Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ()) in
+  let body = g.Pfcore.Genkernels.phi_full.Ir.Kernel.body in
+  let outcomes = Gpumodel.Evotune.tune ~generations:3 ~population:8 Gpumodel.Device.p100 body in
+  match outcomes with
+  | best :: _ ->
+    let baseline = List.find (fun o -> o.Gpumodel.Evotune.genome = []) outcomes in
+    Alcotest.(check bool) "best <= baseline" true
+      (best.Gpumodel.Evotune.time_ns <= baseline.Gpumodel.Evotune.time_ns)
+  | [] -> Alcotest.fail "no outcomes"
+
+let test_evotune_deterministic () =
+  let g = Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ()) in
+  let body = g.Pfcore.Genkernels.phi_full.Ir.Kernel.body in
+  let run () =
+    (List.hd (Gpumodel.Evotune.tune ~seed:7 ~generations:2 ~population:6 Gpumodel.Device.p100 body))
+      .Gpumodel.Evotune.time_ns
+  in
+  Alcotest.(check (float 0.)) "same seed, same result" (run ()) (run ())
+
+let suite =
+  [
+    Alcotest.test_case "max_live" `Quick test_max_live_counts;
+    Alcotest.test_case "dead temp" `Quick test_dead_temp_not_counted;
+    Alcotest.test_case "kessler reduces pressure" `Quick test_kessler_reduces_pressure;
+    Alcotest.test_case "kessler preserves semantics" `Quick test_kessler_preserves_semantics;
+    Alcotest.test_case "beam monotone" `Quick test_greedy_beam_no_worse_than_input;
+    Alcotest.test_case "remat inlines cheap" `Quick test_remat_inlines_cheap;
+    Alcotest.test_case "remat keeps expensive" `Quick test_remat_keeps_expensive;
+    Alcotest.test_case "nvcc hoist model" `Quick test_nvcc_hoist_raises_pressure;
+    Alcotest.test_case "fences limit hoisting" `Quick test_fence_limits_hoisting;
+    Alcotest.test_case "occupancy model" `Quick test_occupancy_model;
+    Alcotest.test_case "Fig2-right pipeline" `Slow test_fig2right_pipeline;
+    Alcotest.test_case "evotune improves" `Slow test_evotune_improves_baseline;
+    Alcotest.test_case "evotune deterministic" `Slow test_evotune_deterministic;
+  ]

@@ -1,0 +1,17 @@
+(* Aggregated alcotest entry point: one suite per library. *)
+
+let () =
+  Alcotest.run "pfgen"
+    [
+      ("expr", Test_expr.suite);
+      ("cse", Test_cse.suite);
+      ("philox", Test_philox.suite);
+      ("fd", Test_fd.suite);
+      ("energy", Test_energy.suite);
+      ("vm", Test_vm.suite);
+      ("kernels", Test_kernels.suite);
+      ("blocks", Test_blocks.suite);
+      ("perfmodel", Test_perf.suite);
+      ("gpumodel", Test_gpu.suite);
+      ("backend", Test_backend.suite);
+    ]

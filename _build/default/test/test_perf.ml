@@ -1,0 +1,139 @@
+(* Performance model: layer conditions, blocking factors, ECM predictions
+   and the variant selection the paper's Fig. 2 relies on. *)
+
+let p1 = lazy (Pfcore.Genkernels.generate (Pfcore.Params.p1 ()))
+
+let skl = Perfmodel.Machine.skylake_8174
+
+let test_layer_condition_coefficient () =
+  (* paper §6.1: μ-full under P1 demands 232·N² bytes; our kernel's demand
+     coefficient must land in that neighbourhood *)
+  let g = Lazy.force p1 in
+  let c = Perfmodel.Layercond.demand_coefficient (Option.get g.mu_full) in
+  Alcotest.(check bool)
+    (Printf.sprintf "demand coefficient %d in [150, 320]" c)
+    true
+    (c >= 150 && c <= 320)
+
+let test_blocking_factor () =
+  (* paper: N < 67 for the 1 MB L2 → they run 60³ blocks *)
+  let g = Lazy.force p1 in
+  let n =
+    Perfmodel.Layercond.blocking_factor (Option.get g.mu_full) ~cache_bytes:skl.Perfmodel.Machine.l2_bytes
+  in
+  Alcotest.(check bool) (Printf.sprintf "blocking N=%d in [55, 85]" n) true (n >= 55 && n <= 85)
+
+let test_traffic_depends_on_layer_condition () =
+  let g = Lazy.force p1 in
+  let k = Option.get g.mu_full in
+  let small = Perfmodel.Layercond.traffic_bytes_per_lup k ~cache_bytes:skl.Perfmodel.Machine.l2_bytes ~n:60 in
+  let large = Perfmodel.Layercond.traffic_bytes_per_lup k ~cache_bytes:skl.Perfmodel.Machine.l2_bytes ~n:400 in
+  Alcotest.(check bool) "violated LC costs more traffic" true (large > small)
+
+let test_ecm_variants_p1 () =
+  (* Fig. 2 left: μ-split is memory-bound (saturates early), μ-full is
+     compute-bound (scales further) *)
+  let g = Lazy.force p1 in
+  let mu_full = Option.get g.mu_full in
+  let pair = Option.get g.mu_split in
+  let p_full = Perfmodel.Ecm.predict skl mu_full ~block_n:60 in
+  let p_stag = Perfmodel.Ecm.predict skl pair.Pfcore.Genkernels.stag ~block_n:60 in
+  let sat_full = Perfmodel.Ecm.saturation_cores skl p_full in
+  let sat_stag = Perfmodel.Ecm.saturation_cores skl p_stag in
+  Alcotest.(check bool)
+    (Printf.sprintf "split (%d) saturates before full (%d)" sat_stag sat_full)
+    true (sat_stag < sat_full);
+  Alcotest.(check bool) "full scales past the socket" true (sat_full > skl.Perfmodel.Machine.cores_per_socket)
+
+let test_ecm_single_core_positive () =
+  let g = Lazy.force p1 in
+  let p = Perfmodel.Ecm.predict skl g.phi_full ~block_n:60 in
+  let mlups = Perfmodel.Ecm.single_core_mlups skl p in
+  Alcotest.(check bool) (Printf.sprintf "%.1f MLUP/s plausible" mlups) true
+    (mlups > 1. && mlups < 500.)
+
+let test_multicore_capped_by_bandwidth () =
+  let g = Lazy.force p1 in
+  let p = Perfmodel.Ecm.predict skl (Option.get g.mu_full) ~block_n:60 in
+  let p1c = Perfmodel.Ecm.multicore_mlups skl p ~cores:1 in
+  let p24 = Perfmodel.Ecm.multicore_mlups skl p ~cores:24 in
+  let p48 = Perfmodel.Ecm.multicore_mlups skl p ~cores:48 in
+  Alcotest.(check bool) "scales up" true (p24 > p1c);
+  Alcotest.(check bool) "bounded" true (p48 <= 24. *. 2.2 *. p1c)
+
+let test_variant_selection_runs () =
+  let g = Lazy.force p1 in
+  let pair = Option.get g.mu_split in
+  let variants =
+    [ [ Option.get g.mu_full ]; [ pair.Pfcore.Genkernels.stag; pair.Pfcore.Genkernels.main ] ]
+  in
+  let idx, rate = Perfmodel.Ecm.select_variant skl ~block_n:60 ~cores:24 variants in
+  Alcotest.(check bool) "selected an alternative" true (idx = 0 || idx = 1);
+  Alcotest.(check bool) "positive rate" true (rate > 0.)
+
+let test_avx2_slower_than_avx512 () =
+  (* §6.1: the generated AVX512 build outperforms the manual AVX2 one *)
+  let g = Lazy.force p1 in
+  let k = g.phi_full in
+  let avx2 = Perfmodel.Machine.with_simd_width 4 skl in
+  let m512 = Perfmodel.Ecm.single_core_mlups skl (Perfmodel.Ecm.predict skl k ~block_n:60) in
+  let m256 = Perfmodel.Ecm.single_core_mlups avx2 (Perfmodel.Ecm.predict avx2 k ~block_n:60) in
+  Alcotest.(check bool) "AVX512 faster" true (m512 > m256)
+
+let suite =
+  [
+    Alcotest.test_case "layer condition coefficient" `Quick test_layer_condition_coefficient;
+    Alcotest.test_case "blocking factor" `Quick test_blocking_factor;
+    Alcotest.test_case "LC violation costs traffic" `Quick test_traffic_depends_on_layer_condition;
+    Alcotest.test_case "ECM variant behaviour P1" `Quick test_ecm_variants_p1;
+    Alcotest.test_case "ECM single core plausible" `Quick test_ecm_single_core_positive;
+    Alcotest.test_case "bandwidth roofline" `Quick test_multicore_capped_by_bandwidth;
+    Alcotest.test_case "variant selection" `Quick test_variant_selection_runs;
+    Alcotest.test_case "AVX512 vs AVX2" `Quick test_avx2_slower_than_avx512;
+  ]
+
+(* --------------- cache simulator ----------------------------------- *)
+
+let test_cachesim_basics () =
+  let c = Perfmodel.Cachesim.create ~size_bytes:1024 ~ways:4 ~line_bytes:64 in
+  Alcotest.(check bool) "cold miss" false (Perfmodel.Cachesim.access c 0);
+  Alcotest.(check bool) "warm hit" true (Perfmodel.Cachesim.access c 8);
+  Alcotest.(check bool) "line granularity" true (Perfmodel.Cachesim.access c 63);
+  Alcotest.(check bool) "different line misses" false (Perfmodel.Cachesim.access c 64)
+
+let test_cachesim_lru_eviction () =
+  (* direct-mapped single set of 2 ways: A B A C -> C evicts B, then B misses *)
+  let c = Perfmodel.Cachesim.create ~size_bytes:128 ~ways:2 ~line_bytes:64 in
+  ignore (Perfmodel.Cachesim.access c 0);       (* A miss *)
+  ignore (Perfmodel.Cachesim.access c 64);      (* B miss *)
+  Alcotest.(check bool) "A still resident" true (Perfmodel.Cachesim.access c 0);
+  ignore (Perfmodel.Cachesim.access c 128);     (* C evicts LRU = B *)
+  Alcotest.(check bool) "B evicted" false (Perfmodel.Cachesim.access c 64)
+
+let test_cachesim_validates_layer_condition () =
+  (* measured traffic through an L2-sized cache must agree with the layer
+     condition's regime: small blocks stream (≈ compulsory), large blocks
+     re-fetch planes *)
+  let g = Lazy.force p1 in
+  let k = g.Pfcore.Genkernels.phi_full in
+  let cache () = Perfmodel.Cachesim.create ~size_bytes:(1024 * 1024) ~ways:16 ~line_bytes:64 in
+  let small = Perfmodel.Cachesim.sweep_traffic k ~cache:(cache ()) ~n:16 in
+  let large = Perfmodel.Cachesim.sweep_traffic k ~cache:(cache ()) ~n:90 in
+  Alcotest.(check bool)
+    (Printf.sprintf "traffic grows when LC breaks: %.0f -> %.0f B/LUP" small large)
+    true (large > small);
+  (* compulsory lower bound: one 8-byte stream per field component *)
+  let compulsory =
+    8. *. float_of_int (List.length (Perfmodel.Layercond.plane_spans k))
+  in
+  Alcotest.(check bool) "small-block traffic near compulsory" true
+    (small < 3. *. compulsory)
+
+let cachesim_suite =
+  [
+    Alcotest.test_case "cache hit/miss basics" `Quick test_cachesim_basics;
+    Alcotest.test_case "LRU eviction" `Quick test_cachesim_lru_eviction;
+    Alcotest.test_case "cachesim validates layer condition" `Slow test_cachesim_validates_layer_condition;
+  ]
+
+let suite = suite @ cachesim_suite

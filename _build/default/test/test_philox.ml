@@ -1,0 +1,77 @@
+(* Philox-4x32-10: known-answer vectors from the Random123 distribution,
+   determinism and crude uniformity of the derived doubles. *)
+
+let kat expect ~c ~k () =
+  let w = Philox.random_ints ~c0:c.(0) ~c1:c.(1) ~c2:c.(2) ~c3:c.(3) ~k0:k.(0) ~k1:k.(1) in
+  Array.iteri
+    (fun i e -> Alcotest.(check int) (Printf.sprintf "word %d" i) e w.(i))
+    expect
+
+let test_kat_zero =
+  kat
+    [| 0x6627e8d5; 0xe169c58d; 0xbc57ac4c; 0x9b00dbd8 |]
+    ~c:[| 0; 0; 0; 0 |] ~k:[| 0; 0 |]
+
+let test_kat_ones =
+  let f = 0xffffffff in
+  kat
+    [| 0x408f276d; 0x41c83b0e; 0xa20bc7c6; 0x6d5451fd |]
+    ~c:[| f; f; f; f |] ~k:[| f; f |]
+
+let test_kat_pi =
+  kat
+    [| 0xd16cfe09; 0x94fdcceb; 0x5001e420; 0x24126ea1 |]
+    ~c:[| 0x243f6a88; 0x85a308d3; 0x13198a2e; 0x03707344 |]
+    ~k:[| 0xa4093822; 0x299f31d0 |]
+
+let test_determinism () =
+  let a = Philox.symmetric ~cell:123456789 ~step:42 ~slot:1 in
+  let b = Philox.symmetric ~cell:123456789 ~step:42 ~slot:1 in
+  Alcotest.(check (float 0.)) "stateless & reproducible" a b
+
+let test_distinct_streams () =
+  let a = Philox.symmetric ~cell:1 ~step:1 ~slot:0 in
+  let b = Philox.symmetric ~cell:2 ~step:1 ~slot:0 in
+  let c = Philox.symmetric ~cell:1 ~step:2 ~slot:0 in
+  Alcotest.(check bool) "cells decorrelated" true (a <> b);
+  Alcotest.(check bool) "steps decorrelated" true (a <> c)
+
+let test_range_and_moments () =
+  let n = 20000 in
+  let sum = ref 0. and sum2 = ref 0. in
+  for i = 0 to n - 1 do
+    let v = Philox.symmetric ~cell:i ~step:7 ~slot:0 in
+    Alcotest.(check bool) "in (-1,1)" true (v >= -1. && v < 1.);
+    sum := !sum +. v;
+    sum2 := !sum2 +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 0" true (abs_float mean < 0.02);
+  (* uniform(-1,1) variance = 1/3 *)
+  Alcotest.(check bool) "variance ~ 1/3" true (abs_float (var -. (1. /. 3.)) < 0.02)
+
+let test_unit_floats () =
+  for i = 0 to 1000 do
+    let u, v = Philox.random_floats ~c0:i ~c1:0 ~c2:0 ~c3:0 ~k0:1 ~k1:2 in
+    Alcotest.(check bool) "u in [0,1)" true (u >= 0. && u < 1.);
+    Alcotest.(check bool) "v in [0,1)" true (v >= 0. && v < 1.)
+  done
+
+let prop_bump_changes_output =
+  QCheck.Test.make ~name:"key bump changes output" ~count:200 QCheck.(pair small_nat small_nat)
+    (fun (c, k) ->
+      Philox.random_ints ~c0:c ~c1:0 ~c2:0 ~c3:0 ~k0:k ~k1:0
+      <> Philox.random_ints ~c0:c ~c1:0 ~c2:0 ~c3:0 ~k0:(k + 1) ~k1:0)
+
+let suite =
+  [
+    Alcotest.test_case "KAT zero" `Quick test_kat_zero;
+    Alcotest.test_case "KAT ones" `Quick test_kat_ones;
+    Alcotest.test_case "KAT pi digits" `Quick test_kat_pi;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "distinct streams" `Quick test_distinct_streams;
+    Alcotest.test_case "range and moments" `Quick test_range_and_moments;
+    Alcotest.test_case "unit floats" `Quick test_unit_floats;
+    QCheck_alcotest.to_alcotest prop_bump_changes_output;
+  ]
