@@ -221,6 +221,26 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a simulation with the generated kernels (optionally on simulated MPI ranks).")
     Term.(const simulate $ model_arg $ size_arg $ steps_arg $ ranks_arg $ split_arg)
 
+(* ---- check ---- *)
+
+let check samples seed quiet =
+  let code = Check.Harness.run ~verbose:(not quiet) ?seed ~samples () in
+  if code <> 0 then exit 1
+
+let samples_arg =
+  Arg.(value & opt int 200 & info [ "samples"; "n" ] ~doc:"Base sample count per oracle (cheap oracles run more, whole-model oracles fewer).")
+
+let seed_arg =
+  Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"Fix the random seed for a reproducible run.")
+
+let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print failures.")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Differential verification soak: fuzz random expressions, kernels and models through cross-layer oracle pairs (Eval vs. optimizer passes, Vm.Engine vs. interpreter, full vs. split kernels, serial vs. domains, 1 rank vs. 2x2 Mpisim ranks). Exits nonzero on divergence, reporting a minimized counterexample.")
+    Term.(const check $ samples_arg $ seed_arg $ quiet_arg)
+
 (* ---- main ---- *)
 
 let () =
@@ -231,4 +251,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_c_cmd; gen_cuda_cmd; table1_cmd; perf_cmd; registers_cmd; simulate_cmd ]))
+          [
+            gen_c_cmd;
+            gen_cuda_cmd;
+            table1_cmd;
+            perf_cmd;
+            registers_cmd;
+            simulate_cmd;
+            check_cmd;
+          ]))

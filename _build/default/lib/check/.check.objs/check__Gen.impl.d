@@ -1,0 +1,1 @@
+lib/check/gen.ml: Cse Expr Field Fieldspec Float Fmt List Printf QCheck Symbolic

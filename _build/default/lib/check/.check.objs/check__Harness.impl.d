@@ -1,0 +1,1 @@
+lib/check/harness.ml: Oracles QCheck QCheck_base_runner Random String Sys

@@ -1,0 +1,1 @@
+lib/check/oracles.ml: Array Blocks Cse Eval Expr Fd Field Fieldspec Float Gen Hashtbl Int64 Ir Lazy List Pfcore Philox QCheck Simplify Symbolic Vm

@@ -1,0 +1,341 @@
+(** Random well-typed inputs for the differential harness.
+
+    Every generator comes with a shrinker so a failing oracle reports a
+    minimized counterexample, not a 40-node expression dump.  Shrinking is
+    measure-decreasing (node count, then summed constant magnitude), which
+    guarantees termination even though candidates are rebuilt through the
+    normalizing smart constructors. *)
+
+open Symbolic
+
+module G = QCheck.Gen
+
+let ( let* ) = G.( >>= )
+
+(* ------------------------------------------------------------------ *)
+(* Scalar values                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded magnitudes: the oracles compare floating-point results up to a
+   tolerance, so generated atoms stay small and special values (0, ±1, 1/2)
+   that trigger smart-constructor folding are over-represented. *)
+let value : float G.t =
+  G.frequency
+    [ (2, G.oneofl [ 0.; 1.; -1.; 0.5; -0.5; 2. ]); (3, G.float_range (-2.) 2.) ]
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fn1 = G.oneofl Expr.[ Sqrt; Rsqrt; Exp; Log; Sin; Cos; Tanh; Fabs ]
+
+(** Random well-typed expression over the given leaf generators.  [size]
+    bounds the node budget; all inner nodes go through the smart
+    constructors, so samples are always in normal form (exactly what the
+    optimization passes receive in the real pipeline). *)
+let expr ?(size = 10) ~(atoms : Expr.t G.t list) () : Expr.t G.t =
+  let atom = G.oneof atoms in
+  let rec go n =
+    if n <= 1 then atom
+    else
+      let sub = go (n / 2) in
+      G.frequency
+        [
+          (2, atom);
+          (4, G.map Expr.add (G.list_size (G.int_range 2 3) sub));
+          (4, G.map Expr.mul (G.list_size (G.int_range 2 3) sub));
+          (2, G.map2 Expr.pow sub (G.oneofl [ -2; -1; 2; 3 ]));
+          (1, G.map Expr.sq sub);
+          (2, G.map2 (fun f x -> Expr.fn f [ x ]) fn1 sub);
+          (1, G.map2 Expr.fmin_ sub sub);
+          (1, G.map2 Expr.fmax_ sub sub);
+          ( 1,
+            let* a = sub in
+            let* b = sub in
+            let* t = sub in
+            let* f = sub in
+            let* strict = G.bool in
+            G.return
+              (Expr.select (if strict then Expr.Lt (a, b) else Expr.Le (a, b)) t f) );
+        ]
+  in
+  let* n = G.int_range 1 size in
+  go n
+
+(* Summed magnitude of numeric leaves: the secondary shrink measure that
+   lets constants shrink toward 0 without changing the node count. *)
+let num_measure e =
+  Expr.fold
+    (fun acc n ->
+      match n with Expr.Num x -> acc +. Float.min (Float.abs x) 1e6 | _ -> acc)
+    0. e
+
+let rec shrink_expr (e : Expr.t) yield =
+  let n = Expr.count_nodes e in
+  let m = num_measure e in
+  let emit c =
+    let nc = Expr.count_nodes c in
+    if nc < n || (nc = n && num_measure c < m -. 1e-9) then yield c
+  in
+  (* shrink a numeric leaf toward zero *)
+  (match e with
+  | Expr.Num x when x <> 0. ->
+    yield Expr.zero;
+    let t = Float.of_int (Float.to_int x) in
+    if t <> x then yield (Expr.num t)
+    else if Float.abs x > 1. then yield (Expr.num (Float.of_int (Float.to_int (x /. 2.))))
+  | _ -> ());
+  let kids = Expr.children e in
+  (* any strict subexpression is a candidate *)
+  List.iter emit kids;
+  (* drop one operand of an n-ary node *)
+  (match e with
+  | (Expr.Add xs | Expr.Mul xs) when List.length xs > 1 ->
+    List.iteri
+      (fun i _ -> emit (Cse.rebuild_with_children e (List.filteri (fun j _ -> j <> i) xs)))
+      xs
+  | _ -> ());
+  (* shrink one child in place *)
+  List.iteri
+    (fun i k ->
+      shrink_expr k (fun k' ->
+          let kids' = List.mapi (fun j k0 -> if j = i then k' else k0) kids in
+          emit (Cse.rebuild_with_children e kids')))
+    kids
+
+(* ------------------------------------------------------------------ *)
+(* Environments                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sym_pool = [ "a"; "b"; "c" ]
+
+let env_gen : (string * float) list G.t =
+  G.map
+    (fun vs -> List.map2 (fun s v -> (s, v)) sym_pool vs)
+    (G.list_repeat (List.length sym_pool) value)
+
+let shrink_env env yield =
+  List.iteri
+    (fun i (_, v) ->
+      if v <> 0. then
+        yield (List.mapi (fun j (s, v') -> if i = j then (s, 0.) else (s, v')) env))
+    env
+
+let pp_env ppf env =
+  Fmt.list ~sep:(Fmt.any ", ")
+    (fun ppf (s, v) -> Fmt.pf ppf "%s=%g" s v)
+    ppf env
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 1: scalar expression + environment                           *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_atoms =
+  [ G.map Expr.sym (G.oneofl sym_pool); G.map Expr.num value ]
+
+let arb_scalar_expr_env : (Expr.t * (string * float) list) QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun (e, env) -> Fmt.str "@[<hov 2>%a@ where %a@]" Expr.pp e pp_env env)
+    ~shrink:(fun (e, env) yield ->
+      shrink_expr e (fun e' -> yield (e', env));
+      shrink_env env (fun env' -> yield (e, env')))
+    (G.pair (expr ~size:12 ~atoms:scalar_atoms ()) env_gen)
+
+(* ------------------------------------------------------------------ *)
+(* Oracles 2/4: random stencil kernels                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Field spec with a random component count (dimension fixed at 2 — the
+    engine/interpreter comparison is about addressing and evaluation, which
+    the third axis would only slow down). *)
+let fieldspec ~name : Fieldspec.t G.t =
+  let* components = G.int_range 1 3 in
+  G.return (Fieldspec.create ~dim:2 ~components name)
+
+type kernel_sample = {
+  src : Fieldspec.t;
+  dst : Fieldspec.t;
+  body : Field.Assignment.t list;  (** SSA temps followed by one store per
+                                       dst component; reads only [src] *)
+  params : (string * float) list;  (** alpha, beta, dx *)
+  seed : int;                      (** keys the data fill and Rand streams *)
+}
+
+let param_pool = [ "alpha"; "beta" ]
+
+let kernel_atoms ~(src : Fieldspec.t) ~temps ~with_rand =
+  let acc =
+    let* component = G.int_bound (src.Fieldspec.components - 1) in
+    let* ox = G.int_range (-2) 2 in
+    let* oy = G.int_range (-2) 2 in
+    G.return (Expr.access (Fieldspec.access ~component src [| ox; oy |]))
+  in
+  let weighted =
+    [
+      (2, G.map Expr.num value);
+      (2, G.map Expr.sym (G.oneofl param_pool));
+      (1, G.map Expr.coord (G.int_bound 1));
+      (4, acc);
+    ]
+    @ (if temps = [] then [] else [ (2, G.map Expr.sym (G.oneofl temps)) ])
+    @ (if with_rand then [ (1, G.map Expr.rand (G.int_bound 1)) ] else [])
+  in
+  [ G.frequency weighted ]
+
+let kernel_sample ?(with_rand = true) () : kernel_sample G.t =
+  let* src = fieldspec ~name:"src" in
+  let* dst = fieldspec ~name:"dst" in
+  let* n_temps = G.int_bound 3 in
+  let rec gen_temps i acc temps =
+    if i = n_temps then G.return (List.rev acc, List.rev temps)
+    else
+      let name = Printf.sprintf "t%d" i in
+      let* rhs = expr ~size:8 ~atoms:(kernel_atoms ~src ~temps ~with_rand) () in
+      gen_temps (i + 1) (Field.Assignment.assign_temp name rhs :: acc) (name :: temps)
+  in
+  let* temp_asgns, temps = gen_temps 0 [] [] in
+  let rec gen_stores c acc =
+    if c = dst.Fieldspec.components then G.return (List.rev acc)
+    else
+      let* rhs = expr ~size:10 ~atoms:(kernel_atoms ~src ~temps ~with_rand) () in
+      gen_stores (c + 1) (Field.Assignment.store (Fieldspec.center ~component:c dst) rhs :: acc)
+  in
+  let* stores = gen_stores 0 [] in
+  let* va = value in
+  let* vb = value in
+  let* dx = G.oneofl [ 0.5; 1.0; 2.0 ] in
+  let* seed = G.int_bound 1000 in
+  G.return
+    {
+      src;
+      dst;
+      body = temp_asgns @ stores;
+      params = [ ("alpha", va); ("beta", vb); ("dx", dx) ];
+      seed;
+    }
+
+let shrink_kernel (s : kernel_sample) yield =
+  (* shrink one right-hand side in place *)
+  List.iteri
+    (fun i (a : Field.Assignment.t) ->
+      shrink_expr a.rhs (fun rhs' ->
+          yield
+            {
+              s with
+              body =
+                List.mapi
+                  (fun j a0 -> if i = j then { a0 with Field.Assignment.rhs = rhs' } else a0)
+                  s.body;
+            }))
+    s.body;
+  (* drop an unused temp, or a surplus store *)
+  let used =
+    List.concat_map (fun (a : Field.Assignment.t) -> Expr.free_syms a.rhs) s.body
+  in
+  let n_stores =
+    List.length (List.filter (fun a -> match a.Field.Assignment.lhs with
+      | Field.Assignment.Store _ -> true | _ -> false) s.body)
+  in
+  List.iteri
+    (fun i (a : Field.Assignment.t) ->
+      let droppable =
+        match a.Field.Assignment.lhs with
+        | Field.Assignment.Temp t -> not (List.mem t used)
+        | Field.Assignment.Store _ -> n_stores > 1
+      in
+      if droppable then yield { s with body = List.filteri (fun j _ -> j <> i) s.body })
+    s.body;
+  (* zero one parameter *)
+  List.iteri
+    (fun i (p, v) ->
+      if v <> 0. && p <> "dx" then
+        yield
+          {
+            s with
+            params = List.mapi (fun j (p', v') -> if i = j then (p', 0.) else (p', v')) s.params;
+          })
+    s.params
+
+let pp_kernel ppf (s : kernel_sample) =
+  Fmt.pf ppf "@[<v 2>kernel (src^%d -> dst^%d, seed %d, %a):@ %a@]"
+    s.src.Fieldspec.components s.dst.Fieldspec.components s.seed pp_env s.params
+    Field.Assignment.pp_list s.body
+
+let arb_kernel ?(with_rand = true) () : kernel_sample QCheck.arbitrary =
+  QCheck.make
+    ~print:(Fmt.str "%a" pp_kernel)
+    ~shrink:shrink_kernel
+    (kernel_sample ~with_rand ())
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 3: continuous divergence right-hand sides                    *)
+(* ------------------------------------------------------------------ *)
+
+(** The continuous scalar field the fluxes read. *)
+let phi_c = Fieldspec.scalar ~dim:2 "phi"
+
+type flux_sample = {
+  rhs : Expr.t;        (** continuous RHS: divergence terms + remainder *)
+  kappa : float;
+  fdx : float;
+  fseed : int;
+}
+
+let flux_coeff_atoms =
+  [
+    G.frequency
+      [
+        (3, G.return (Expr.field phi_c));
+        (2, G.map Expr.num value);
+        (2, G.return (Expr.sym "kappa"));
+      ];
+  ]
+
+(* One flux along [axis]: coeff * D_{d'} phi (+ optional non-derivative
+   part).  Keeping exactly one Diff level matches what the energy layer
+   emits and keeps ghost requirements within the block's 2 layers. *)
+let flux _axis : Expr.t G.t =
+  let* d' = G.int_bound 1 in
+  let* coeff = expr ~size:4 ~atoms:flux_coeff_atoms () in
+  let* with_extra = G.bool in
+  let* extra = expr ~size:3 ~atoms:flux_coeff_atoms () in
+  let base = Expr.mul [ coeff; Expr.Diff (Expr.field phi_c, d') ] in
+  G.return (if with_extra then Expr.add [ base; extra ] else base)
+
+let flux_sample : flux_sample G.t =
+  let* f0 = flux 0 in
+  let* f1 = flux 1 in
+  let* remainder = expr ~size:4 ~atoms:flux_coeff_atoms () in
+  let* kappa = G.float_range 0.1 2. in
+  let* fdx = G.oneofl [ 0.5; 1.0 ] in
+  let* fseed = G.int_bound 1000 in
+  G.return
+    { rhs = Expr.add [ Expr.Diff (f0, 0); Expr.Diff (f1, 1); remainder ]; kappa; fdx; fseed }
+
+let shrink_flux (s : flux_sample) yield =
+  shrink_expr s.rhs (fun rhs' -> yield { s with rhs = rhs' })
+
+let arb_flux : flux_sample QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun s ->
+      Fmt.str "@[<hov 2>%a@ where kappa=%g dx=%g seed=%d@]" Expr.pp s.rhs s.kappa s.fdx
+        s.fseed)
+    ~shrink:shrink_flux flux_sample
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 5: random model runs                                         *)
+(* ------------------------------------------------------------------ *)
+
+type model_sample = { mseed : int; split : bool; steps : int }
+
+let arb_model : model_sample QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "seed %d, %s kernels, %d steps" s.mseed
+        (if s.split then "split" else "full")
+        s.steps)
+    ~shrink:(fun s yield -> if s.steps > 1 then yield { s with steps = s.steps - 1 })
+    (let* mseed = G.int_bound 10_000 in
+     let* split = G.bool in
+     let* steps = G.int_range 1 3 in
+     G.return { mseed; split; steps })

@@ -1,0 +1,24 @@
+(** Differential harness entry points.
+
+    Sample counts default to a fast configuration so `dune runtest` stays
+    quick; set [PFGEN_QCHECK_COUNT] to scale every oracle up (the `@slow`
+    dune alias does this), or run `pfgen check --samples N` for a soak. *)
+
+let default_count =
+  match Sys.getenv_opt "PFGEN_QCHECK_COUNT" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 20)
+  | None -> 20
+
+(** The oracle tests at a given base sample count. *)
+let tests ?(count = default_count) () : QCheck.Test.t list = Oracles.all ~count
+
+(** Run the harness standalone (the `pfgen check` subcommand).  Returns the
+    runner's exit code: 0 when every oracle holds, nonzero on divergence —
+    each failure is reported with its minimized counterexample. *)
+let run ?(verbose = true) ?seed ~samples () =
+  let rand =
+    match seed with
+    | Some s -> Random.State.make [| s |]
+    | None -> Random.State.make_self_init ()
+  in
+  QCheck_base_runner.run_tests ~colors:false ~verbose ~rand (tests ~count:samples ())

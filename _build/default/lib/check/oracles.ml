@@ -1,0 +1,338 @@
+(** Differential oracle pairs.
+
+    Each oracle runs one random sample through two independent
+    implementations of the same semantics and compares the results:
+
+    + scalar [Eval.eval] vs. eval after an algebraic pass
+      ([Simplify.simplify_term], [expand], [factor_common],
+      [freeze_parameters]) or after [Cse];
+    + the compiled [Vm.Engine] sweep vs. a direct [Eval]-based interpreter
+      over the same block;
+    + full vs. split (staggered-precompute) discretization from
+      [Fd.Discretize];
+    + serial sweep vs. multi-domain sweep (bitwise);
+    + single-block run vs. 2×2-rank [Blocks.Mpisim] run with ghost
+      exchange, compared on interior cells after K steps (bitwise).
+
+    Floating-point policy: oracles whose two sides evaluate *different
+    expression trees* (1 and 3) compare up to a tolerance and skip samples
+    whose intermediate values leave [-guard, guard] — reassociation under
+    the normalizing smart constructors legitimately perturbs the last bits,
+    and IEEE non-finite arithmetic makes algebraic rewrites unsound
+    (0 * inf).  Oracles whose two sides evaluate the *same* tree (2, 4, 5)
+    compare (near-)bitwise. *)
+
+open Symbolic
+
+(* ------------------------------------------------------------------ *)
+(* Comparison policy                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let guard = 1e6
+
+(** Tolerant compare, scale-aware: passes when both are NaN, equal, or
+    within [tol * max 1 (max |a| |b|)]. *)
+let close ?(tol = 1e-6) a b =
+  (Float.is_nan a && Float.is_nan b)
+  || a = b
+  || Float.abs (a -. b) <= tol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(** True when every subterm of [e] evaluates to a finite value within the
+    guard band.  Samples failing this are vacuously accepted: algebraic
+    identities are only claimed on the well-scaled domain. *)
+let well_scaled env e =
+  Expr.fold
+    (fun ok node ->
+      ok
+      &&
+      match Eval.eval env node with
+      | v -> Float.is_finite v && Float.abs v <= guard
+      | exception _ -> false)
+    true e
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 1: Eval vs. Eval-after-pass                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** The reusable law behind oracle 1, parameterized by the transformation —
+    the mutation smoke-check reuses it with a deliberately broken pass. *)
+let transform_preserves_value transform (e, bindings) =
+  let env = Eval.of_alist bindings in
+  if not (well_scaled env e) then true
+  else
+    let e' = transform bindings e in
+    if not (well_scaled env e') then true
+    else close (Eval.eval env e) (Eval.eval env e')
+
+let expr_transform_cell ?(count = 100) ~name transform =
+  QCheck.Test.make_cell ~name ~count Gen.arb_scalar_expr_env
+    (transform_preserves_value transform)
+
+let expr_transform_test ?(count = 100) ~name transform =
+  QCheck.Test.make ~name ~count Gen.arb_scalar_expr_env
+    (transform_preserves_value transform)
+
+let cse_test ~count =
+  QCheck.Test.make ~name:"oracle1: eval = eval after global CSE" ~count
+    Gen.arb_scalar_expr_env (fun (e, bindings) ->
+      let env = Eval.of_alist bindings in
+      if not (well_scaled env e) then true
+      else
+        (* two copies force sharing of the whole tree, exercising the
+           binding-threading path of [Eval.eval_bindings] *)
+        let { Cse.bindings = bs; exprs } = Cse.run [ e; e ] in
+        let reference = Eval.eval env e in
+        List.for_all (close reference) (Eval.eval_bindings env bs exprs))
+
+let simplify_tests ~count =
+  [
+    expr_transform_test ~count ~name:"oracle1: eval = eval after simplify_term"
+      (fun _ e -> Simplify.simplify_term e);
+    expr_transform_test ~count ~name:"oracle1: eval = eval after expand" (fun _ e ->
+        Simplify.expand e);
+    expr_transform_test ~count ~name:"oracle1: eval = eval after factor_common"
+      (fun _ e -> Simplify.factor_common e);
+    expr_transform_test ~count ~name:"oracle1: eval = constant folding of frozen expr"
+      Simplify.freeze_parameters;
+    cse_test ~count;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Shared block plumbing for oracles 2–4                               *)
+(* ------------------------------------------------------------------ *)
+
+let dims2 = [| 6; 5 |]
+
+(* Deterministic pseudo-random fill of every element (ghosts included) so
+   out-of-center reads hit initialized data. *)
+let fill_buffer (buf : Vm.Buffer.t) ~seed ~slot =
+  Array.iteri
+    (fun i _ ->
+      buf.Vm.Buffer.data.(i) <- 0.5 +. (0.45 *. Philox.symmetric ~cell:i ~step:seed ~slot))
+    buf.Vm.Buffer.data
+
+let interior_agree ?(cmp = bits_equal) (a : Vm.Buffer.t) (b : Vm.Buffer.t) =
+  let ok = ref true in
+  let coords = Array.make 2 0 in
+  for y = 0 to a.Vm.Buffer.dims.(1) - 1 do
+    for x = 0 to a.Vm.Buffer.dims.(0) - 1 do
+      coords.(0) <- x;
+      coords.(1) <- y;
+      for c = 0 to a.Vm.Buffer.components - 1 do
+        if not (cmp (Vm.Buffer.get a ~component:c coords) (Vm.Buffer.get b ~component:c coords))
+        then ok := false
+      done
+    done
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 2: compiled engine vs. reference interpreter                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_engine (s : Gen.kernel_sample) ~num_domains =
+  let kernel = Ir.Kernel.make ~name:"fuzz" ~dim:2 s.Gen.body in
+  let block = Vm.Engine.make_block ~ghost:2 ~dims:dims2 [ s.Gen.src; s.Gen.dst ] in
+  fill_buffer (Vm.Engine.buffer block s.Gen.src) ~seed:s.Gen.seed ~slot:3;
+  let bound = Vm.Engine.bind kernel block in
+  Vm.Engine.run ~num_domains ~step:s.Gen.seed ~params:s.Gen.params bound;
+  block
+
+(* Direct interpretation of the SSA body, one cell at a time, through
+   [Eval] — no lowering, no hoisting, no compilation. *)
+let run_interp (s : Gen.kernel_sample) =
+  let block = Vm.Engine.make_block ~ghost:2 ~dims:dims2 [ s.Gen.src; s.Gen.dst ] in
+  fill_buffer (Vm.Engine.buffer block s.Gen.src) ~seed:s.Gen.seed ~slot:3;
+  let gd = block.Vm.Engine.global_dims in
+  let dx = List.assoc "dx" s.Gen.params in
+  let temps : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let coords = Array.make 2 0 in
+  let elt (a : Fieldspec.access) =
+    let buf = Vm.Engine.buffer block a.Fieldspec.field in
+    (buf, Vm.Buffer.base_index buf coords + Vm.Buffer.access_delta buf a)
+  in
+  let env =
+    Eval.env
+      ~sym:(fun sy ->
+        match Hashtbl.find_opt temps sy with
+        | Some v -> v
+        | None -> List.assoc sy s.Gen.params)
+      ~access:(fun a ->
+        let buf, i = elt a in
+        buf.Vm.Buffer.data.(i))
+      ~coord:(fun d -> (float_of_int coords.(d) +. 0.5) *. dx)
+      ~rand:(fun slot ->
+        Philox.symmetric ~cell:((coords.(1) * gd.(0)) + coords.(0)) ~step:s.Gen.seed ~slot)
+      ()
+  in
+  for y = 0 to dims2.(1) - 1 do
+    for x = 0 to dims2.(0) - 1 do
+      coords.(0) <- x;
+      coords.(1) <- y;
+      Hashtbl.reset temps;
+      List.iter
+        (fun (a : Field.Assignment.t) ->
+          let v = Eval.eval env a.Field.Assignment.rhs in
+          match a.Field.Assignment.lhs with
+          | Field.Assignment.Temp t -> Hashtbl.replace temps t v
+          | Field.Assignment.Store acc ->
+            let buf, i = elt acc in
+            buf.Vm.Buffer.data.(i) <- v)
+        s.Gen.body
+    done
+  done;
+  block
+
+(* Engine and interpreter evaluate the same normalized tree; the only
+   rounding difference is the generic-[Pow] strategy (repeated multiply vs.
+   [**]), so the tolerance is tight. *)
+let engine_close a b =
+  (Float.is_nan a && Float.is_nan b) || a = b || close ~tol:1e-9 a b
+
+let engine_vs_interp ~count =
+  QCheck.Test.make ~name:"oracle2: Vm.Engine = Eval interpreter" ~count
+    (Gen.arb_kernel ())
+    (fun s ->
+      let vm = run_engine s ~num_domains:1 in
+      let ref_ = run_interp s in
+      interior_agree ~cmp:engine_close
+        (Vm.Engine.buffer vm s.Gen.dst)
+        (Vm.Engine.buffer ref_ s.Gen.dst))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 4: serial vs. multi-domain sweep                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Domain slicing only partitions the outer loop — every cell runs the
+   identical closures on the same data, so this one is bitwise.  [Rand]
+   streams are keyed by global cell index and must not see the slicing. *)
+let serial_vs_domains ~count =
+  QCheck.Test.make ~name:"oracle4: serial sweep = multi-domain sweep (bitwise)" ~count
+    (Gen.arb_kernel ())
+    (fun s ->
+      let b1 = run_engine s ~num_domains:1 in
+      let b3 = run_engine s ~num_domains:3 in
+      interior_agree (Vm.Engine.buffer b1 s.Gen.dst) (Vm.Engine.buffer b3 s.Gen.dst))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 3: full vs. split discretization                             *)
+(* ------------------------------------------------------------------ *)
+
+let full_vs_split ~count =
+  let out_full = Fieldspec.scalar ~dim:2 "out_full" in
+  let out_split = Fieldspec.scalar ~dim:2 "out_split" in
+  let stag = Fieldspec.create ~kind:Fieldspec.Staggered ~dim:2 ~components:2 "stag" in
+  QCheck.Test.make ~name:"oracle3: full = split (staggered) discretization" ~count
+    Gen.arb_flux
+    (fun s ->
+      let scheme = Fd.Discretize.create ~dx:(Expr.sym "dx") ~dim:2 () in
+      let full_body =
+        [ Field.Assignment.store (Fieldspec.center out_full)
+            (Fd.Discretize.discretize scheme s.Gen.rhs) ]
+      in
+      let registry = Fd.Discretize.make_registry stag in
+      let split_rhs = Fd.Discretize.discretize_split scheme ~registry s.Gen.rhs in
+      let main_body =
+        [ Field.Assignment.store (Fieldspec.center out_split) split_rhs ]
+      in
+      let stag_body = Fd.Discretize.registry_kernel_body registry in
+      let k_full = Ir.Kernel.make ~name:"full" ~dim:2 full_body in
+      let k_main = Ir.Kernel.make ~name:"main" ~dim:2 main_body in
+      let block =
+        Vm.Engine.make_block ~ghost:2 ~dims:dims2
+          [ Gen.phi_c; out_full; out_split; stag ]
+      in
+      let phi_buf = Vm.Engine.buffer block Gen.phi_c in
+      fill_buffer phi_buf ~seed:s.Gen.fseed ~slot:7;
+      let params = [ ("dx", s.Gen.fdx); ("kappa", s.Gen.kappa) ] in
+      let exec k = Vm.Engine.run ~params (Vm.Engine.bind k block) in
+      exec k_full;
+      (match stag_body with
+      | [] -> ()
+      | body ->
+        exec
+          (Ir.Kernel.make ~iteration:(Ir.Kernel.StaggeredSweep [ 0; 1 ]) ~name:"stag"
+             ~dim:2 body));
+      exec k_main;
+      (* different trees on the two sides: tolerance compare, with the
+         same well-scaled guard as oracle 1 applied to the stored flux *)
+      interior_agree
+        ~cmp:(fun a b ->
+          (not (Float.is_finite a) && not (Float.is_finite b))
+          || Float.abs a > guard || Float.abs b > guard
+          || close ~tol:1e-6 a b)
+        (Vm.Engine.buffer block out_full)
+        (Vm.Engine.buffer block out_split))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 5: single block vs. 2×2 Mpisim forest                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The curvature model: 2 phases, no chemical fields — the cheapest model
+   that exercises the full Algorithm-1 phase structure. *)
+let curvature_gen =
+  lazy (Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ()))
+
+let global2 = [| 12; 12 |]
+
+let init_model_phi (sim : Pfcore.Timestep.t) ~seed =
+  let fields = sim.Pfcore.Timestep.gen.Pfcore.Genkernels.fields in
+  let block = sim.Pfcore.Timestep.block in
+  let buf = Vm.Engine.buffer block fields.Pfcore.Model.phi_src in
+  let off = block.Vm.Engine.offset in
+  let gd = block.Vm.Engine.global_dims in
+  Vm.Buffer.init buf (fun coords comp ->
+      let gx = coords.(0) + off.(0) and gy = coords.(1) + off.(1) in
+      let u = Philox.symmetric ~cell:((gy * gd.(0)) + gx) ~step:seed ~slot:5 in
+      let v = 0.2 +. (0.3 *. (1. +. u) /. 2.) in
+      if comp = 0 then v else 1. -. v)
+
+let single_vs_forest ~count =
+  QCheck.Test.make
+    ~name:"oracle5: single block = 2x2 Mpisim forest (bitwise, interior)" ~count
+    Gen.arb_model
+    (fun s ->
+      let gen = Lazy.force curvature_gen in
+      let variant = if s.Gen.split then Pfcore.Timestep.Split else Pfcore.Timestep.Full in
+      let single = Pfcore.Timestep.create ~variant_phi:variant ~dims:global2 gen in
+      init_model_phi single ~seed:s.Gen.mseed;
+      Pfcore.Timestep.prime single;
+      Pfcore.Timestep.run single ~steps:s.Gen.steps;
+      let forest =
+        Blocks.Forest.create ~variant_phi:variant ~grid:[| 2; 2 |]
+          ~block_dims:[| global2.(0) / 2; global2.(1) / 2 |]
+          gen
+      in
+      Array.iter (fun sim -> init_model_phi sim ~seed:s.Gen.mseed) forest.Blocks.Forest.sims;
+      Blocks.Forest.prime forest;
+      Blocks.Forest.run forest ~steps:s.Gen.steps;
+      let phi = gen.Pfcore.Genkernels.fields.Pfcore.Model.phi_src in
+      let sbuf = Vm.Engine.buffer single.Pfcore.Timestep.block phi in
+      let ok = ref true in
+      for gy = 0 to global2.(1) - 1 do
+        for gx = 0 to global2.(0) - 1 do
+          for c = 0 to phi.Fieldspec.components - 1 do
+            let a = Vm.Buffer.get sbuf ~component:c [| gx; gy |] in
+            let b = Blocks.Forest.get forest phi ~component:c [| gx; gy |] in
+            if not (bits_equal a b) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* The harness's test list                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** All oracle tests.  [count] is the base sample count; cheap scalar
+    oracles run more samples, whole-model oracles fewer. *)
+let all ~count =
+  simplify_tests ~count:(2 * count)
+  @ [
+      engine_vs_interp ~count;
+      full_vs_split ~count;
+      serial_vs_domains ~count:(max 3 (count / 2));
+      single_vs_forest ~count:(max 2 (count / 6));
+    ]

@@ -50,8 +50,8 @@ let rec eval env e =
     | Cos, [ x ] -> cos x
     | Tanh, [ x ] -> tanh x
     | Fabs, [ x ] -> abs_float x
-    | Fmin, [ a; b ] -> min a b
-    | Fmax, [ a; b ] -> max a b
+    | Fmin, [ a; b ] -> Expr.c_fmin a b
+    | Fmax, [ a; b ] -> Expr.c_fmax a b
     | _ -> invalid_arg "Eval.eval: bad function arity")
   | Select (c, t, f) ->
     let holds = match c with

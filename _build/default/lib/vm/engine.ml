@@ -142,10 +142,10 @@ let rec compile (b : binder) (e : Expr.t) : ctx -> float =
     fun c -> g (fx c)
   | Expr.Fun (Expr.Fmin, [ x; y ]) ->
     let fx = compile b x and fy = compile b y in
-    fun c -> Float.min (fx c) (fy c)
+    fun c -> Expr.c_fmin (fx c) (fy c)
   | Expr.Fun (Expr.Fmax, [ x; y ]) ->
     let fx = compile b x and fy = compile b y in
-    fun c -> Float.max (fx c) (fy c)
+    fun c -> Expr.c_fmax (fx c) (fy c)
   | Expr.Fun _ -> invalid_arg "Engine.compile: bad function arity"
   | Expr.Select (cond, t, f) ->
     let ft = compile b t and ff = compile b f in

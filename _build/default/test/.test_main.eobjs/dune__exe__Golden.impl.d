@@ -1,0 +1,1 @@
+test/golden.ml: Alcotest Filename Format List String Sys

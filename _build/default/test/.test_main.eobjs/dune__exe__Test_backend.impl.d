@@ -1,1 +1,1 @@
-test/test_backend.ml: Alcotest Array Astring Backend Expr Field Fieldspec Filename Fun Ir Lazy List Option Pfcore Printf String Symbolic Sys Unix Vm
+test/test_backend.ml: Alcotest Array Astring Backend Expr Field Fieldspec Filename Fun Golden Ir Lazy List Option Pfcore Printf String Symbolic Sys Unix Vm

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Check Eval Expr Field Fieldspec Float Ir List QCheck QCheck_alcotest Random Symbolic Vm

@@ -1,1 +1,1 @@
-test/test_gpu.ml: Alcotest Assignment Expr Field Fieldspec Gpumodel Ir List Option Pfcore Printf Symbolic
+test/test_gpu.ml: Alcotest Assignment Backend Expr Field Fieldspec Golden Gpumodel Ir Lazy List Option Pfcore Printf Symbolic

@@ -1,1 +1,1 @@
-test/test_philox.ml: Alcotest Array Philox Printf QCheck QCheck_alcotest
+test/test_philox.ml: Alcotest Array Expr Field Fieldspec Int64 Ir Philox Printf QCheck QCheck_alcotest Symbolic Vm

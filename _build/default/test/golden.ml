@@ -1,0 +1,98 @@
+(* Golden-snapshot helpers.
+
+   Committed reference output lives in test/golden/ (declared as dune deps,
+   so it is visible in the sandboxed test directory as ./golden/).  A test
+   compares normalized emitted source against the snapshot; running with
+   PFGEN_UPDATE_GOLDEN=1 rewrites the snapshots in the *source tree* (found
+   by walking up to the directory containing .git) instead of failing, so
+   intentional backend changes are a one-command refresh:
+
+     PFGEN_UPDATE_GOLDEN=1 dune runtest *)
+
+let update_mode = Sys.getenv_opt "PFGEN_UPDATE_GOLDEN" = Some "1"
+
+(* Trailing whitespace and trailing blank lines are not semantic in
+   generated code; normalizing them keeps snapshots stable across printer
+   tweaks that don't change the code. *)
+let normalize text =
+  let lines = String.split_on_char '\n' text in
+  let strip line =
+    let n = String.length line in
+    let rec last i = if i > 0 && (line.[i - 1] = ' ' || line.[i - 1] = '\t') then last (i - 1) else i in
+    String.sub line 0 (last n)
+  in
+  let lines = List.map strip lines in
+  let rec drop_trailing = function
+    | "" :: rest -> drop_trailing rest
+    | l -> l
+  in
+  String.concat "\n" (List.rev (drop_trailing (List.rev lines))) ^ "\n"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* The source-tree golden directory, for regeneration: ascend from the
+   (sandboxed _build) cwd to the repository root.  PFGEN_GOLDEN_DIR
+   overrides for odd layouts. *)
+let source_golden_dir () =
+  match Sys.getenv_opt "PFGEN_GOLDEN_DIR" with
+  | Some d -> d
+  | None ->
+    let rec ascend dir =
+      if Sys.file_exists (Filename.concat dir ".git") then
+        Filename.concat (Filename.concat dir "test") "golden"
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then failwith "golden: repository root (.git) not found"
+        else ascend parent
+    in
+    ascend (Sys.getcwd ())
+
+(** Compare [actual] against the committed snapshot [name]; in update mode,
+    rewrite the snapshot instead. *)
+let check ~name actual =
+  let actual = normalize actual in
+  if update_mode then begin
+    let path = Filename.concat (source_golden_dir ()) name in
+    write_file path actual;
+    Format.printf "golden: updated %s (%d bytes)@." path (String.length actual)
+  end
+  else
+    let path = Filename.concat "golden" name in
+    if not (Sys.file_exists path) then
+      Alcotest.failf "golden snapshot %s missing - run PFGEN_UPDATE_GOLDEN=1 dune runtest" name
+    else
+      let expected = normalize (read_file path) in
+      if String.equal expected actual then ()
+      else begin
+        (* dump the divergent output next to the test log for inspection *)
+        let got = name ^ ".rej" in
+        write_file got actual;
+        let show s =
+          let limit = 400 in
+          if String.length s <= limit then s else String.sub s 0 limit ^ "..."
+        in
+        (* report the first differing line to make the diff actionable *)
+        let el = String.split_on_char '\n' expected
+        and al = String.split_on_char '\n' actual in
+        let rec first_diff i = function
+          | e :: es, a :: as_ ->
+            if String.equal e a then first_diff (i + 1) (es, as_) else (i, e, a)
+          | e :: _, [] -> (i, e, "<end of output>")
+          | [], a :: _ -> (i, "<end of snapshot>", a)
+          | [], [] -> (i, "", "")
+        in
+        let line, e, a = first_diff 1 (el, al) in
+        Alcotest.failf
+          "golden mismatch for %s at line %d:@\n  snapshot: %s@\n  emitted:  %s@\n(full output written to %s; refresh with PFGEN_UPDATE_GOLDEN=1 dune runtest)"
+          name line (show e) (show a) got
+      end

@@ -208,9 +208,28 @@ let test_simd_select_blend () =
   Alcotest.(check bool) "mask blend emitted" true
     (contains_sub code "_mm512_mask_blend_pd")
 
+(* ------------------------------------------------------------------ *)
+
+(* Golden snapshots: the exact printed C of the p1 φ- and μ-sweep kernels.
+   Any drift in the symbolic pipeline, CSE, lowering or the printer shows up
+   as a diff here; PFGEN_UPDATE_GOLDEN=1 refreshes after intentional
+   changes. *)
+let p1_gen = lazy (Pfcore.Genkernels.generate (Pfcore.Params.p1 ()))
+
+let test_golden_c_phi () =
+  let g = Lazy.force p1_gen in
+  Golden.check ~name:"p1_phi_full.c" (Backend.Ccode.emit (Ir.Lower.run g.phi_full))
+
+let test_golden_c_mu () =
+  let g = Lazy.force p1_gen in
+  Golden.check ~name:"p1_mu_full.c"
+    (Backend.Ccode.emit (Ir.Lower.run (Option.get g.mu_full)))
+
 let suite =
   [
     Alcotest.test_case "generated C compiles (gcc)" `Quick test_c_compiles;
+    Alcotest.test_case "golden C: p1 phi sweep" `Quick test_golden_c_phi;
+    Alcotest.test_case "golden C: p1 mu sweep" `Quick test_golden_c_mu;
     Alcotest.test_case "generated AVX512 compiles (gcc)" `Quick test_simd_compiles;
     Alcotest.test_case "generated C == VM (end-to-end)" `Quick test_c_matches_vm;
     Alcotest.test_case "C structure" `Quick test_c_signature_and_structure;

@@ -24,6 +24,35 @@ let test_mpisim_accounting () =
   Alcotest.(check int) "bytes counted" 80 c.Blocks.Mpisim.bytes_sent;
   Alcotest.(check int) "messages counted" 1 c.Blocks.Mpisim.messages_sent
 
+(* No_message must carry the exact (src, dst, tag) key in both failure
+   modes: a queue that was never created (wrong tag) and one that exists
+   but has been drained. *)
+let test_mpisim_no_message_key () =
+  let c = Blocks.Mpisim.create 3 in
+  Blocks.Mpisim.send c ~src:0 ~dst:2 ~tag:5 [| 1. |];
+  Alcotest.check_raises "wrong tag"
+    (Blocks.Mpisim.No_message (0, 2, 9))
+    (fun () -> ignore (Blocks.Mpisim.recv c ~src:0 ~dst:2 ~tag:9));
+  ignore (Blocks.Mpisim.recv c ~src:0 ~dst:2 ~tag:5);
+  Alcotest.check_raises "drained queue"
+    (Blocks.Mpisim.No_message (0, 2, 5))
+    (fun () -> ignore (Blocks.Mpisim.recv c ~src:0 ~dst:2 ~tag:5))
+
+(* The counters must match the hand-computed ghost volume of one full
+   exchange.  Curvature φ has 2 components; with ghost width 2 and 8x8
+   blocks a slab spans 2 comps x 2 ghost cells x 12 padded cells = 48
+   elements = 384 bytes.  A 2x2 periodic grid posts 2 sides x 4 ranks per
+   axis over 2 axes = 16 messages, 16 x 384 = 6144 bytes. *)
+let test_exchange_accounting () =
+  let g = Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ()) in
+  let forest = Blocks.Forest.create ~grid:[| 2; 2 |] ~block_dims:[| 8; 8 |] g in
+  let comm = forest.Blocks.Forest.comm in
+  Alcotest.(check int) "no traffic before exchange" 0 comm.Blocks.Mpisim.messages_sent;
+  Blocks.Forest.exchange forest g.Pfcore.Genkernels.fields.Pfcore.Model.phi_src;
+  Alcotest.(check int) "messages per exchange" 16 comm.Blocks.Mpisim.messages_sent;
+  Alcotest.(check int) "bytes per exchange" 6144 comm.Blocks.Mpisim.bytes_sent;
+  Alcotest.(check bool) "all consumed" true (Blocks.Mpisim.quiescent comm)
+
 let test_ghost_roundtrip () =
   (* packing a high slab of one buffer into the low ghosts of another is the
      core of the exchange; verify content placement *)
@@ -162,6 +191,8 @@ let suite =
   [
     Alcotest.test_case "mpisim fifo semantics" `Quick test_mpisim_fifo;
     Alcotest.test_case "mpisim accounting" `Quick test_mpisim_accounting;
+    Alcotest.test_case "mpisim No_message key" `Quick test_mpisim_no_message_key;
+    Alcotest.test_case "exchange message/byte accounting" `Quick test_exchange_accounting;
     Alcotest.test_case "ghost pack/unpack" `Quick test_ghost_roundtrip;
     Alcotest.test_case "ghost volume" `Quick test_exchange_bytes_positive;
     Alcotest.test_case "forest == single (full)" `Slow test_forest_equals_single_full;

@@ -177,9 +177,25 @@ let test_evotune_deterministic () =
   in
   Alcotest.(check (float 0.)) "same seed, same result" (run ()) (run ())
 
+(* Golden snapshots of the printed CUDA for the p1 sweeps — the GPU-side
+   counterpart of the C snapshots in test_backend.ml.  Refresh with
+   PFGEN_UPDATE_GOLDEN=1 after intentional emitter changes. *)
+let p1_gen = lazy (Pfcore.Genkernels.generate (Pfcore.Params.p1 ()))
+
+let test_golden_cuda_phi () =
+  let g = Lazy.force p1_gen in
+  Golden.check ~name:"p1_phi_full.cu" (Backend.Cuda.emit g.Pfcore.Genkernels.phi_full)
+
+let test_golden_cuda_mu () =
+  let g = Lazy.force p1_gen in
+  Golden.check ~name:"p1_mu_full.cu"
+    (Backend.Cuda.emit (Option.get g.Pfcore.Genkernels.mu_full))
+
 let suite =
   [
     Alcotest.test_case "max_live" `Quick test_max_live_counts;
+    Alcotest.test_case "golden CUDA: p1 phi sweep" `Quick test_golden_cuda_phi;
+    Alcotest.test_case "golden CUDA: p1 mu sweep" `Quick test_golden_cuda_mu;
     Alcotest.test_case "dead temp" `Quick test_dead_temp_not_counted;
     Alcotest.test_case "kessler reduces pressure" `Quick test_kessler_reduces_pressure;
     Alcotest.test_case "kessler preserves semantics" `Quick test_kessler_preserves_semantics;

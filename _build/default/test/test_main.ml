@@ -14,4 +14,5 @@ let () =
       ("perfmodel", Test_perf.suite);
       ("gpumodel", Test_gpu.suite);
       ("backend", Test_backend.suite);
+      ("check", Test_check.suite);
     ]

@@ -172,6 +172,16 @@ let neg a = mul [ Num (-1.); a ]
 let div a b = mul [ a; pow b (-1) ]
 let sq a = pow a 2
 
+(* C99 fmin/fmax semantics, which the generated C and CUDA compute: when one
+   operand is NaN the other is returned (NaN only when both are).  OCaml's
+   [Stdlib.min]/[Float.min] disagree on NaN, so every layer that evaluates
+   [Fmin]/[Fmax] numerically must go through these. *)
+let c_fmin a b =
+  if Float.is_nan a then b else if Float.is_nan b then a else if a <= b then a else b
+
+let c_fmax a b =
+  if Float.is_nan a then b else if Float.is_nan b then a else if a >= b then a else b
+
 let fn f args =
   match (f, args) with
   | Sqrt, [ Num x ] when x >= 0. -> Num (sqrt x)
@@ -182,8 +192,8 @@ let fn f args =
   | Cos, [ Num x ] -> Num (cos x)
   | Tanh, [ Num x ] -> Num (tanh x)
   | Fabs, [ Num x ] -> Num (abs_float x)
-  | Fmin, [ Num a; Num b ] -> Num (min a b)
-  | Fmax, [ Num a; Num b ] -> Num (max a b)
+  | Fmin, [ Num a; Num b ] -> Num (c_fmin a b)
+  | Fmax, [ Num a; Num b ] -> Num (c_fmax a b)
   | _ -> Fun (f, args)
 
 let sqrt_ x = fn Sqrt [ x ]

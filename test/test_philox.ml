@@ -58,6 +58,43 @@ let test_unit_floats () =
     Alcotest.(check bool) "v in [0,1)" true (v >= 0. && v < 1.)
   done
 
+(* Expr.Rand is keyed on (global cell, step, slot), so the stream a cell
+   sees must not depend on how the sweep is scheduled: a VM run with one
+   domain and one with several must produce bitwise-identical noise.  This
+   is the single-process analogue of the paper's requirement that thermal
+   noise be reproducible across MPI decompositions. *)
+let test_rand_stream_scheduling_invariant () =
+  let open Symbolic in
+  let src = Fieldspec.scalar ~dim:2 "s" and dst = Fieldspec.scalar ~dim:2 "d" in
+  let body =
+    [
+      Field.Assignment.store (Fieldspec.center dst)
+        (Expr.add
+           [ Expr.rand 0; Expr.mul [ Expr.rand 1; Expr.field src ] ]);
+    ]
+  in
+  let k = Ir.Kernel.make ~name:"noise" ~dim:2 body in
+  let dims = [| 9; 7 |] in
+  let run ~num_domains ~step =
+    let block = Vm.Engine.make_block ~ghost:1 ~dims [ src; dst ] in
+    let sbuf = Vm.Engine.buffer block src in
+    Array.iteri (fun i _ -> sbuf.Vm.Buffer.data.(i) <- 0.5) sbuf.Vm.Buffer.data;
+    Vm.Engine.run ~num_domains ~step ~params:[] (Vm.Engine.bind k block);
+    let dbuf = Vm.Engine.buffer block dst in
+    let out = ref [] in
+    for x = 0 to dims.(0) - 1 do
+      for y = 0 to dims.(1) - 1 do
+        out := Int64.bits_of_float (Vm.Buffer.get dbuf [| x; y |]) :: !out
+      done
+    done;
+    !out
+  in
+  let serial = run ~num_domains:1 ~step:3 in
+  let parallel = run ~num_domains:4 ~step:3 in
+  Alcotest.(check (list int64)) "serial == 4 domains (bitwise)" serial parallel;
+  (* and the stream must advance with the step index *)
+  Alcotest.(check bool) "step decorrelates" true (serial <> run ~num_domains:1 ~step:4)
+
 let prop_bump_changes_output =
   QCheck.Test.make ~name:"key bump changes output" ~count:200 QCheck.(pair small_nat small_nat)
     (fun (c, k) ->
@@ -73,5 +110,7 @@ let suite =
     Alcotest.test_case "distinct streams" `Quick test_distinct_streams;
     Alcotest.test_case "range and moments" `Quick test_range_and_moments;
     Alcotest.test_case "unit floats" `Quick test_unit_floats;
+    Alcotest.test_case "rand stream scheduling-invariant" `Quick
+      test_rand_stream_scheduling_invariant;
     QCheck_alcotest.to_alcotest prop_bump_changes_output;
   ]
