@@ -13,6 +13,36 @@
 let section title =
   Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Each artifact accumulates (key, value) metrics while printing its
+   human-readable table; the dispatcher then writes them to
+   BENCH_<artifact>.json so CI and the experiment log can consume the
+   numbers without scraping stdout. *)
+let metrics : (string * float) list ref = ref []
+
+let metric key value = metrics := (key, value) :: !metrics
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let write_bench_json target =
+  let path = Printf.sprintf "BENCH_%s.json" target in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"target\": %S,\n  \"metrics\": {\n" target;
+  let entries = List.rev !metrics in
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "    %S: %s%s\n" k (json_float v)
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Fmt.pr "[wrote %s: %d metric(s)]@." path (List.length entries)
+
 let gen_p1 = lazy (Pfcore.Genkernels.generate (Pfcore.Params.p1 ()))
 let gen_p2 = lazy (Pfcore.Genkernels.generate (Pfcore.Params.p2 ()))
 
@@ -86,7 +116,12 @@ let table1_row tag name (main : Field.Opcount.t) (stag : Field.Opcount.t option)
   Fmt.pr "%-3s %-10s %10s %8s %6d %6d %6d %6d | %10s %8s %6d@." tag name loads stores
     combined.Field.Opcount.adds combined.Field.Opcount.muls combined.Field.Opcount.divs
     (Field.Opcount.normalized combined)
-    paper.p_loads paper.p_stores paper.p_norm
+    paper.p_loads paper.p_stores paper.p_norm;
+  let key =
+    String.lowercase_ascii (String.map (function '-' -> '_' | c -> c) (tag ^ "_" ^ name))
+  in
+  metric (key ^ "_norm_flops") (float_of_int (Field.Opcount.normalized combined));
+  metric (key ^ "_norm_flops_paper") (float_of_int paper.p_norm)
 
 let table1 () =
   section "Table 1: per-cell operation counts (ours | paper)";
@@ -115,7 +150,8 @@ let table1 () =
   in
   Fmt.pr
     "@.paper §5.1: the manually optimized mu kernel of [2] needed 1384 normalized FLOPs;@.";
-  Fmt.pr "our automatically simplified mu-split kernel needs %d.@." ours
+  Fmt.pr "our automatically simplified mu-split kernel needs %d.@." ours;
+  metric "p1_mu_split_vs_manual_1384" (float_of_int ours)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2 left & middle: ECM vs benchmark, variant selection         *)
@@ -167,6 +203,13 @@ let fig2_left () =
   let m_split = 1. /. ((1. /. m_stag) +. (1. /. m_main)) in
   Fmt.pr "measured on this machine (VM, 1 core, %d^3): split %.2f, full %.2f MLUP/s@."
     dims.(0) m_split m_full;
+  metric "measured_mu_split_mlups" m_split;
+  metric "measured_mu_full_mlups" m_full;
+  metric "measured_split_over_full" (m_split /. m_full);
+  metric "saturation_cores_split"
+    (float_of_int (Perfmodel.Ecm.saturation_cores skl p_stag));
+  metric "saturation_cores_full"
+    (float_of_int (Perfmodel.Ecm.saturation_cores skl p_full));
   Fmt.pr "shape check: measured split/full ratio %.2f (ECM predicts %.2f at 1 core)@."
     (m_split /. m_full)
     (snd (List.hd (ecm_curve [ pair.Pfcore.Genkernels.stag; pair.Pfcore.Genkernels.main ]))
@@ -254,6 +297,9 @@ let table2 () =
           { Blocks.Gpucomm.overlap = ov; gpudirect = gd }
           ~block_dims
       in
+      metric
+        (Printf.sprintf "mlups_overlap_%b_gpudirect_%b" ov gd)
+        rate;
       Fmt.pr "%-8b %-10b %14.0f | %d@." ov gd rate ref_)
     paper;
   Fmt.pr "cost split: comp %.2f ms, pack %.2f ms, stage %.2f ms, net %.2f ms per step@."
@@ -295,8 +341,9 @@ let fig3_weak_cpu () =
   Fmt.pr "%-10s %18s %22s@." "cores" "P1 generated" "P1 manual [2] (AVX2)";
   List.iter
     (fun cores ->
-      Fmt.pr "%-10d %18.2f %22.2f@." cores
-        (Blocks.Scaling.weak generated ~block_dims:[| 60; 60; 60 |] ~ranks:cores)
+      let gen_rate = Blocks.Scaling.weak generated ~block_dims:[| 60; 60; 60 |] ~ranks:cores in
+      metric (Printf.sprintf "generated_mlups_per_core_%d" cores) gen_rate;
+      Fmt.pr "%-10d %18.2f %22.2f@." cores gen_rate
         (Blocks.Scaling.weak manual ~block_dims:[| 60; 60; 60 |] ~ranks:cores))
     [ 16; 64; 256; 1024; 4096; 16384; 65536; 152064; 304128 ];
   Fmt.pr "(MLUP/s per core; paper: ~6 generated vs ~5 manual, flat to half the machine)@."
@@ -316,6 +363,7 @@ let fig3_weak_gpu () =
           { Blocks.Gpucomm.overlap = true; gpudirect = true }
           ~block_dims
       in
+      metric (Printf.sprintf "mlups_per_gpu_%d" gpus) rate;
       Fmt.pr "%-10d %14.0f@." gpus rate)
     [ 1; 4; 16; 64; 128; 512; 1024; 2400 ];
   Fmt.pr "(paper: ~440 MLUP/s per GPU, flat to 2400 GPUs)@."
@@ -329,6 +377,7 @@ let fig3_strong () =
       let per_core, steps =
         Blocks.Scaling.strong cfg ~global_dims:[| 512; 256; 256 |] ~ranks:cores
       in
+      metric (Printf.sprintf "steps_per_s_%d" cores) steps;
       Fmt.pr "%-10d %16.2f %14.1f@." cores per_core steps)
     [ 48; 192; 768; 3072; 12288; 49152; 152064 ];
   Fmt.pr "(paper: 0.2 steps/s at 48 cores, 460 steps/s at 152064 cores)@."
@@ -446,26 +495,74 @@ let micro () =
     (fun (name, est) ->
       match Analyze.OLS.estimates est with
       | Some (ns :: _) ->
+        let key =
+          String.map (function '/' | '-' | '.' -> '_' | c -> c) name
+        in
+        metric (key ^ "_ns_per_run") ns;
         if
           Astring.String.is_infix ~affix:"sweep" name
           || Astring.String.is_infix ~affix:"timestep" name
-        then Fmt.pr "%-36s %12.0f ns/run  = %6.3f MLUP/s@." name ns (cells /. ns *. 1e3)
+        then begin
+          metric (key ^ "_mlups") (cells /. ns *. 1e3);
+          Fmt.pr "%-36s %12.0f ns/run  = %6.3f MLUP/s@." name ns (cells /. ns *. 1e3)
+        end
         else Fmt.pr "%-36s %12.0f ns/run@." name ns
       | _ -> Fmt.pr "%-36s (no estimate)@." name)
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: checkpoint overhead on this machine                     *)
+(* ------------------------------------------------------------------ *)
 
-let all () =
-  table1 ();
-  fig2_left ();
-  fig2_middle ();
-  fig2_right ();
-  table2 ();
-  fig3_weak_cpu ();
-  fig3_weak_gpu ();
-  fig3_strong ();
-  ablations ()
+let resilience () =
+  section "Resilience: checkpoint overhead (curvature model, 2x2 ranks, VM)";
+  let gen = lazy (Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ())) in
+  let g = Lazy.force gen in
+  let forest = Blocks.Forest.create ~grid:[| 2; 2 |] ~block_dims:[| 16; 16 |] g in
+  Array.iter Pfcore.Simulation.init_lamellae forest.Blocks.Forest.sims;
+  Blocks.Forest.prime forest;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let steps = 20 in
+  let (), step_s = time (fun () -> Blocks.Forest.run forest ~steps) in
+  let step_ms = step_s /. float_of_int steps *. 1e3 in
+  let reps = 10 in
+  let snap, capture_s =
+    time (fun () ->
+        let s = ref (Resilience.Snapshot.capture forest) in
+        for _ = 2 to reps do
+          s := Resilience.Snapshot.capture forest
+        done;
+        !s)
+  in
+  let capture_ms = capture_s /. float_of_int reps *. 1e3 in
+  let encoded, encode_s =
+    time (fun () ->
+        let e = ref (Resilience.Snapshot.encode snap) in
+        for _ = 2 to reps do
+          e := Resilience.Snapshot.encode snap
+        done;
+        !e)
+  in
+  let encode_ms = encode_s /. float_of_int reps *. 1e3 in
+  let every = 5 in
+  let overhead = capture_ms /. (float_of_int every *. step_ms) *. 100. in
+  Fmt.pr "time step:          %8.3f ms@." step_ms;
+  Fmt.pr "snapshot capture:   %8.3f ms@." capture_ms;
+  Fmt.pr "snapshot encode:    %8.3f ms (%d bytes)@." encode_ms (String.length encoded);
+  Fmt.pr "checkpoint every %d steps: %.1f%% overhead (in-memory capture only)@." every
+    overhead;
+  metric "step_ms" step_ms;
+  metric "capture_ms" capture_ms;
+  metric "encode_ms" encode_ms;
+  metric "snapshot_bytes" (float_of_int (String.length encoded));
+  metric "checkpoint_every" (float_of_int every);
+  metric "overhead_percent" overhead
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let artifacts =
@@ -479,18 +576,24 @@ let () =
       ("fig3_weak_gpu", fig3_weak_gpu);
       ("fig3_strong", fig3_strong);
       ("ablations", ablations);
+      ("resilience", resilience);
       ("micro", micro);
     ]
   in
+  (* each artifact prints its table and then dumps the metrics it
+     accumulated to BENCH_<artifact>.json *)
+  let run_artifact (name, f) =
+    metrics := [];
+    f ();
+    write_bench_json name
+  in
   match Array.to_list Sys.argv with
-  | [ _ ] ->
-    all ();
-    micro ()
+  | [ _ ] -> List.iter run_artifact artifacts
   | _ :: args ->
     List.iter
       (fun a ->
         match List.assoc_opt a artifacts with
-        | Some f -> f ()
+        | Some f -> run_artifact (a, f)
         | None ->
           Fmt.epr "unknown artifact %s; available: %s@." a
             (String.concat ", " (List.map fst artifacts));

@@ -178,25 +178,93 @@ let registers_cmd =
 
 (* ---- simulate ---- *)
 
-let simulate params size steps ranks split =
+let variant_of split = if split then Pfcore.Timestep.Split else Pfcore.Timestep.Full
+
+let init_single params sim =
+  if Pfcore.Params.n_mu params > 0 then Pfcore.Simulation.init_lamellae sim
+  else Pfcore.Simulation.init_sphere sim
+
+let decomposition ~dim ~size ~ranks =
+  if size mod ranks <> 0 then failwith "size must be divisible by ranks";
+  let grid = Array.init dim (fun d -> if d = 0 then ranks else 1) in
+  let block_dims = Array.init dim (fun d -> if d = 0 then size / ranks else size) in
+  (grid, block_dims)
+
+let build_forest g ~split ~grid ~block_dims =
+  let forest = Blocks.Forest.create ~variant_phi:(variant_of split) ~grid ~block_dims g in
+  Array.iter Pfcore.Simulation.init_lamellae forest.Blocks.Forest.sims;
+  Blocks.Forest.prime forest;
+  forest
+
+let build_single params g ~split ~dims =
+  let sim = Pfcore.Timestep.create ~variant_phi:(variant_of split) ~dims g in
+  init_single params sim;
+  Pfcore.Timestep.prime sim;
+  sim
+
+(* Bitwise comparison of the phase field of two forests over all global
+   interior cells; returns the number of differing (cell, component)s. *)
+let forest_phi_mismatches (g : Pfcore.Genkernels.t) a b =
+  let phi = g.Pfcore.Genkernels.fields.Pfcore.Model.phi_src in
+  let gd = a.Blocks.Forest.global_dims in
+  let dim = Array.length gd in
+  let bad = ref 0 in
+  let coords = Array.make dim 0 in
+  let rec walk d =
+    if d = dim then
+      for c = 0 to phi.Symbolic.Fieldspec.components - 1 do
+        let x = Blocks.Forest.get a phi ~component:c coords in
+        let y = Blocks.Forest.get b phi ~component:c coords in
+        if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)) then incr bad
+      done
+    else
+      for i = 0 to gd.(d) - 1 do
+        coords.(d) <- i;
+        walk (d + 1)
+      done
+  in
+  walk 0;
+  !bad
+
+let simulate params size steps ranks split crash_at ckpt_every fault_seed =
   let g = generate params false in
   let dim = params.Pfcore.Params.dim in
-  let variant = if split then Pfcore.Timestep.Split else Pfcore.Timestep.Full in
   let t0 = Unix.gettimeofday () in
   let fractions =
     if ranks > 1 then begin
-      let grid = Array.init dim (fun d -> if d = 0 then ranks else 1) in
-      let block_dims = Array.init dim (fun d -> if d = 0 then size / ranks else size) in
-      let forest = Blocks.Forest.create ~variant_phi:variant ~grid ~block_dims g in
-      Array.iter Pfcore.Simulation.init_lamellae forest.Blocks.Forest.sims;
-      Blocks.Forest.prime forest;
-      Blocks.Forest.run forest ~steps;
+      let grid, block_dims = decomposition ~dim ~size ~ranks in
+      let forest = build_forest g ~split ~grid ~block_dims in
+      (match crash_at with
+      | None -> Blocks.Forest.run forest ~steps
+      | Some k ->
+        (* fault-injected run under crash protection, verified bitwise
+           against an undisturbed twin *)
+        let plan = Blocks.Faultplan.chaos ~seed:fault_seed ~crash_step:k () in
+        Blocks.Mpisim.set_fault_plan forest.Blocks.Forest.comm (Some plan);
+        Fmt.pr "fault plan: %a@." Blocks.Faultplan.pp plan;
+        let stats =
+          Resilience.Recovery.run_protected ~every:ckpt_every ~steps forest
+        in
+        let c = forest.Blocks.Forest.comm in
+        Fmt.pr
+          "recovery: %d checkpoint(s), %d restart(s), %d step(s) replayed; substrate \
+           healed %d retransmission(s), %d dropped, %d duplicated, %d delayed@."
+          stats.Resilience.Recovery.checkpoints stats.Resilience.Recovery.restarts
+          stats.Resilience.Recovery.replayed_steps c.Blocks.Mpisim.retransmissions
+          c.Blocks.Mpisim.dropped c.Blocks.Mpisim.duplicated c.Blocks.Mpisim.delayed_count;
+        let clean = build_forest g ~split ~grid ~block_dims in
+        Blocks.Forest.run clean ~steps;
+        let bad = forest_phi_mismatches g forest clean in
+        if bad = 0 then Fmt.pr "verification: protected run = clean run (bitwise)@."
+        else begin
+          Fmt.epr "verification FAILED: %d cell value(s) differ from the clean run@." bad;
+          exit 1
+        end);
       Blocks.Forest.phase_fractions forest
     end
     else begin
-      let sim = Pfcore.Timestep.create ~variant_phi:variant ~dims:(Array.make dim size) g in
-      (if Pfcore.Params.n_mu params > 0 then Pfcore.Simulation.init_lamellae sim
-       else Pfcore.Simulation.init_sphere sim);
+      if crash_at <> None then failwith "--crash-at requires --ranks > 1";
+      let sim = build_single params g ~split ~dims:(Array.make dim size) in
       Pfcore.Timestep.run sim ~steps;
       Pfcore.Simulation.phase_fractions sim
     end
@@ -216,10 +284,145 @@ let steps_arg = Arg.(value & opt int 50 & info [ "steps" ] ~doc:"Time steps to r
 let ranks_arg = Arg.(value & opt int 1 & info [ "ranks" ] ~doc:"Simulated MPI ranks (1D decomposition).")
 let split_arg = Arg.(value & flag & info [ "split" ] ~doc:"Use the split (staggered-precompute) phi kernel variant.")
 
+let crash_arg =
+  Arg.(value & opt (some int) None & info [ "crash-at" ] ~doc:"Inject faults (drop/delay/duplicate) and crash a rank entering step $(docv); the run recovers by rollback and is verified bitwise against an undisturbed twin. Requires --ranks > 1." ~docv:"K")
+
+let ckpt_every_arg =
+  Arg.(value & opt int 5 & info [ "checkpoint-every" ] ~doc:"Checkpoint cadence (steps) for the crash-protected run.")
+
+let fault_seed_arg =
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc:"Seed of the deterministic fault plan.")
+
 let simulate_cmd =
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Run a simulation with the generated kernels (optionally on simulated MPI ranks).")
-    Term.(const simulate $ model_arg $ size_arg $ steps_arg $ ranks_arg $ split_arg)
+    (Cmd.info "simulate" ~doc:"Run a simulation with the generated kernels (optionally on simulated MPI ranks, optionally under fault injection with crash recovery).")
+    Term.(const simulate $ model_arg $ size_arg $ steps_arg $ ranks_arg $ split_arg
+          $ crash_arg $ ckpt_every_arg $ fault_seed_arg)
+
+(* ---- checkpoint / resume ---- *)
+
+let checkpoint params size steps ranks split output =
+  let g = generate params false in
+  let dim = params.Pfcore.Params.dim in
+  let snap =
+    if ranks > 1 then begin
+      let grid, block_dims = decomposition ~dim ~size ~ranks in
+      let forest = build_forest g ~split ~grid ~block_dims in
+      Blocks.Forest.run forest ~steps;
+      Resilience.Snapshot.capture forest
+    end
+    else begin
+      let sim = build_single params g ~split ~dims:(Array.make dim size) in
+      Pfcore.Timestep.run sim ~steps;
+      Resilience.Snapshot.capture_single sim
+    end
+  in
+  Resilience.Snapshot.save output snap;
+  Fmt.pr "wrote %a to %s (%d bytes)@." Resilience.Snapshot.pp snap output
+    (String.length (Resilience.Snapshot.encode snap))
+
+let snap_out_arg =
+  Arg.(required & opt (some string) None & info [ "o"; "output" ] ~doc:"Snapshot file to write." ~docv:"FILE")
+
+let checkpoint_cmd =
+  Cmd.v
+    (Cmd.info "checkpoint" ~doc:"Run a simulation and write a versioned, checksummed snapshot of its full state (field buffers with ghosts, step index, model fingerprint).")
+    Term.(const checkpoint $ model_arg $ size_arg $ steps_arg $ ranks_arg $ split_arg
+          $ snap_out_arg)
+
+let resume params input steps verify =
+  let g = generate params false in
+  let snap = Resilience.Snapshot.load input in
+  Fmt.pr "loaded %a from %s@." Resilience.Snapshot.pp snap input;
+  (* validate the model before building any block: resuming under the
+     wrong --model must fail cleanly, not crash mid-construction *)
+  let fp = Resilience.Snapshot.fingerprint_of_params params in
+  if fp <> snap.Resilience.Snapshot.fingerprint then begin
+    Fmt.epr
+      "resume: snapshot was taken with a different model (fingerprint %08x, --model \
+       %s has %08x)@."
+      snap.Resilience.Snapshot.fingerprint params.Pfcore.Params.name fp;
+    exit 1
+  end;
+  let ranks = Array.fold_left ( * ) 1 snap.Resilience.Snapshot.grid in
+  let split = snap.Resilience.Snapshot.split_phi in
+  let size = snap.Resilience.Snapshot.global_dims.(0) in
+  let dim = Array.length snap.Resilience.Snapshot.global_dims in
+  let fractions =
+    if ranks > 1 then begin
+      let forest =
+        Blocks.Forest.create ~variant_phi:(variant_of split)
+          ~variant_mu:(variant_of snap.Resilience.Snapshot.split_mu)
+          ~grid:snap.Resilience.Snapshot.grid
+          ~block_dims:snap.Resilience.Snapshot.block_dims g
+      in
+      Resilience.Snapshot.restore snap forest;
+      Blocks.Forest.run forest ~steps;
+      if verify then begin
+        (* rerun from the same initial conditions without interruption and
+           demand bitwise agreement *)
+        let clean =
+          build_forest g ~split ~grid:snap.Resilience.Snapshot.grid
+            ~block_dims:snap.Resilience.Snapshot.block_dims
+        in
+        Blocks.Forest.run clean ~steps:(snap.Resilience.Snapshot.step + steps);
+        let bad = forest_phi_mismatches g forest clean in
+        if bad = 0 then Fmt.pr "verification: resumed run = uninterrupted run (bitwise)@."
+        else begin
+          Fmt.epr "verification FAILED: %d cell value(s) differ@." bad;
+          exit 1
+        end
+      end;
+      Blocks.Forest.phase_fractions forest
+    end
+    else begin
+      let sim =
+        Pfcore.Timestep.create ~variant_phi:(variant_of split)
+          ~variant_mu:(variant_of snap.Resilience.Snapshot.split_mu)
+          ~dims:snap.Resilience.Snapshot.block_dims g
+      in
+      Resilience.Snapshot.restore_single snap sim;
+      Pfcore.Timestep.run sim ~steps;
+      if verify then begin
+        let clean = build_single params g ~split ~dims:snap.Resilience.Snapshot.block_dims in
+        Pfcore.Timestep.run clean ~steps:(snap.Resilience.Snapshot.step + steps);
+        let phi = g.Pfcore.Genkernels.fields.Pfcore.Model.phi_src in
+        let a = Vm.Engine.buffer sim.Pfcore.Timestep.block phi in
+        let b = Vm.Engine.buffer clean.Pfcore.Timestep.block phi in
+        let bad = ref 0 in
+        Array.iteri
+          (fun i x ->
+            if
+              not
+                (Int64.equal (Int64.bits_of_float x)
+                   (Int64.bits_of_float b.Vm.Buffer.data.(i)))
+            then incr bad)
+          a.Vm.Buffer.data;
+        if !bad = 0 then Fmt.pr "verification: resumed run = uninterrupted run (bitwise)@."
+        else begin
+          Fmt.epr "verification FAILED: %d buffer element(s) differ@." !bad;
+          exit 1
+        end
+      end;
+      Pfcore.Simulation.phase_fractions sim
+    end
+  in
+  Fmt.pr "%d more steps of %s on %d^%d (%d rank%s) from step %d@." steps
+    params.Pfcore.Params.name size dim ranks
+    (if ranks > 1 then "s" else "")
+    snap.Resilience.Snapshot.step;
+  Fmt.pr "phase fractions: %a@." Fmt.(array ~sep:sp (fmt "%.4f")) fractions
+
+let snap_in_arg =
+  Arg.(required & opt (some string) None & info [ "i"; "input" ] ~doc:"Snapshot file to resume from." ~docv:"FILE")
+
+let verify_arg =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Also rerun from scratch without interruption and require bitwise agreement with the resumed run.")
+
+let resume_cmd =
+  Cmd.v
+    (Cmd.info "resume" ~doc:"Resume a simulation from a snapshot written by 'pfgen checkpoint' (topology and kernel variants are reconstructed from the snapshot; the model fingerprint is validated). With --verify, proves the restart is bitwise exact.")
+    Term.(const resume $ model_arg $ snap_in_arg $ steps_arg $ verify_arg)
 
 (* ---- check ---- *)
 
@@ -258,5 +461,7 @@ let () =
             perf_cmd;
             registers_cmd;
             simulate_cmd;
+            checkpoint_cmd;
+            resume_cmd;
             check_cmd;
           ]))

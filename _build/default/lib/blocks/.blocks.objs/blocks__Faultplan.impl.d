@@ -1,0 +1,1 @@
+lib/blocks/faultplan.ml: Fmt Philox Printf

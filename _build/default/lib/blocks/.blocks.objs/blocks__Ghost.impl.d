@@ -1,1 +1,1 @@
-lib/blocks/ghost.ml: Array Vm
+lib/blocks/ghost.ml: Array Mpisim Printexc Printf Vm

@@ -1,1 +1,1 @@
-lib/blocks/mpisim.ml: Array Hashtbl Queue
+lib/blocks/mpisim.ml: Array Faultplan Hashtbl List Option Printexc Printf Queue String

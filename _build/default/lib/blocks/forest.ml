@@ -53,7 +53,11 @@ let create ?(variant_phi = Pfcore.Timestep.Full) ?(variant_mu = Pfcore.Timestep.
   in
   { comm; grid; block_dims; global_dims; sims }
 
-(** Exchange ghost layers of [field] across all ranks, axis by axis. *)
+(** Exchange ghost layers of [field] across all ranks, axis by axis,
+    through the self-healing sequenced protocol ({!Ghost.fetch}): drops,
+    delays and duplicates injected by a fault plan are healed in place; a
+    dead neighbor surfaces as [Ghost.Rank_crashed] for the recovery driver
+    to roll back.  Crashed ranks neither send nor receive. *)
 let exchange t (field : Fieldspec.t) =
   let dim = Array.length t.block_dims in
   for axis = 0 to dim - 1 do
@@ -61,21 +65,25 @@ let exchange t (field : Fieldspec.t) =
     (* post all sends *)
     Array.iteri
       (fun r (sim : Pfcore.Timestep.t) ->
-        let buf = Vm.Engine.buffer sim.Pfcore.Timestep.block field in
-        Mpisim.send t.comm ~src:r ~dst:(neighbor t r ~axis ~dir:(-1)) ~tag:tag_low
-          (Ghost.pack buf ~axis ~side:Ghost.Low);
-        Mpisim.send t.comm ~src:r ~dst:(neighbor t r ~axis ~dir:1) ~tag:tag_high
-          (Ghost.pack buf ~axis ~side:Ghost.High))
+        if Mpisim.live t.comm r then begin
+          let buf = Vm.Engine.buffer sim.Pfcore.Timestep.block field in
+          Ghost.send_slab t.comm ~src:r ~dst:(neighbor t r ~axis ~dir:(-1)) ~tag:tag_low
+            buf ~axis ~side:Ghost.Low;
+          Ghost.send_slab t.comm ~src:r ~dst:(neighbor t r ~axis ~dir:1) ~tag:tag_high
+            buf ~axis ~side:Ghost.High
+        end)
       t.sims;
     (* drain all receives *)
     Array.iteri
       (fun r (sim : Pfcore.Timestep.t) ->
-        let buf = Vm.Engine.buffer sim.Pfcore.Timestep.block field in
-        (* the high slab of my low neighbor fills my low ghosts *)
-        let from_low = Mpisim.recv t.comm ~src:(neighbor t r ~axis ~dir:(-1)) ~dst:r ~tag:tag_high in
-        Ghost.unpack buf ~axis ~side:Ghost.Low from_low;
-        let from_high = Mpisim.recv t.comm ~src:(neighbor t r ~axis ~dir:1) ~dst:r ~tag:tag_low in
-        Ghost.unpack buf ~axis ~side:Ghost.High from_high)
+        if Mpisim.live t.comm r then begin
+          let buf = Vm.Engine.buffer sim.Pfcore.Timestep.block field in
+          (* the high slab of my low neighbor fills my low ghosts *)
+          Ghost.recv_slab t.comm ~src:(neighbor t r ~axis ~dir:(-1)) ~dst:r ~tag:tag_high
+            buf ~axis ~side:Ghost.Low;
+          Ghost.recv_slab t.comm ~src:(neighbor t r ~axis ~dir:1) ~dst:r ~tag:tag_low
+            buf ~axis ~side:Ghost.High
+        end)
       t.sims
   done
 
@@ -89,18 +97,26 @@ let prime t =
   exchange t (fields t).Pfcore.Model.phi_src;
   if has_mu t then exchange t (fields t).Pfcore.Model.mu_src
 
-(** One lockstep time step across all ranks (Algorithm 1). *)
-let step t =
-  Array.iter Pfcore.Timestep.phase_phi t.sims;
-  exchange t (fields t).Pfcore.Model.phi_dst;
-  Array.iter Pfcore.Timestep.phase_mu t.sims;
-  if has_mu t then exchange t (fields t).Pfcore.Model.mu_dst;
-  Array.iter Pfcore.Timestep.finish t.sims;
-  assert (Mpisim.quiescent t.comm)
+let step_count t = (Array.get t.sims 0).Pfcore.Timestep.step_count
 
-let run t ~steps =
+(** One lockstep time step across all ranks (Algorithm 1).  Activates a
+    pending rank crash at the step boundary and enforces the end-of-step
+    quiescence invariant: after a completed exchange no live message may
+    remain in flight. *)
+let step t =
+  Mpisim.begin_step t.comm ~step:(step_count t);
+  let each f = Array.iteri (fun r sim -> if Mpisim.live t.comm r then f sim) t.sims in
+  each Pfcore.Timestep.phase_phi;
+  exchange t (fields t).Pfcore.Model.phi_dst;
+  each Pfcore.Timestep.phase_mu;
+  if has_mu t then exchange t (fields t).Pfcore.Model.mu_dst;
+  each Pfcore.Timestep.finish;
+  Mpisim.finalize t.comm
+
+let run ?(on_step = fun (_ : t) -> ()) t ~steps =
   for _ = 1 to steps do
-    step t
+    step t;
+    on_step t
   done
 
 (** Global phase fractions (average of per-rank fractions; blocks are

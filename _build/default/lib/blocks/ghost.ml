@@ -71,3 +71,70 @@ let exchange_bytes buf =
     total := !total + (2 * 8 * slab_size buf axis)
   done;
   !total
+
+(* ------------------------------------------------------------------ *)
+(* Self-healing exchange protocol                                      *)
+(* ------------------------------------------------------------------ *)
+
+exception Rank_crashed of int
+(** The sender rank is dead: the caller must roll the whole simulation
+    back to its last checkpoint (see [Resilience.Recovery]). *)
+
+exception Exchange_failed of (int * int * int)
+(** Retries exhausted on a live channel — only reachable when a message
+    aged out of the bounded retransmission log, which a lockstep exchange
+    never provokes. *)
+
+(** Fetch the next in-sequence message of channel (src, dst, tag),
+    tolerating the full {!Faultplan.t} fault repertoire:
+
+    + stale duplicates are discarded by sequence number;
+    + a missing message is treated as a timeout against the substrate's
+      virtual clock: the receiver backs off exponentially (advancing the
+      clock, which releases delayed messages) and requests a bounded
+      number of retransmissions from the sender's log;
+    + if the sender turns out to be dead, [Rank_crashed] aborts the
+      exchange so the driver can roll back to the last checkpoint.
+
+    Exactly-once, in-order delivery: under any plan without a crash this
+    returns precisely the payloads the fault-free run would see, in the
+    same order — which is what makes faulty runs bitwise identical. *)
+let fetch ?(max_retries = 10) comm ~src ~dst ~tag =
+  let rec attempt retries backoff =
+    Mpisim.release_due comm;
+    match Mpisim.recv_expected comm ~src ~dst ~tag with
+    | Some payload -> payload
+    | None ->
+      if retries >= max_retries then
+        if Mpisim.is_crashed comm src then raise (Rank_crashed src)
+        else raise (Exchange_failed (src, dst, tag))
+      else begin
+        Mpisim.advance_clock comm backoff;
+        (match
+           Mpisim.request_retransmit comm ~src ~dst ~tag
+             ~seq:(Mpisim.expected_seq comm ~src ~dst ~tag)
+         with
+        | `Crashed -> raise (Rank_crashed src)
+        | `Sent | `Lost -> ());
+        attempt (retries + 1) (2 * backoff)
+      end
+  in
+  attempt 0 1
+
+(** Pack-and-send one slab (sequence number assigned by the substrate). *)
+let send_slab comm ~src ~dst ~tag buf ~axis ~side =
+  Mpisim.send comm ~src ~dst ~tag (pack buf ~axis ~side)
+
+(** Receive-and-unpack one slab through the self-healing protocol. *)
+let recv_slab ?max_retries comm ~src ~dst ~tag buf ~axis ~side =
+  unpack buf ~axis ~side (fetch ?max_retries comm ~src ~dst ~tag)
+
+let () =
+  Printexc.register_printer (function
+    | Rank_crashed r -> Some (Printf.sprintf "Ghost.Rank_crashed: rank %d is dead" r)
+    | Exchange_failed (src, dst, tag) ->
+      Some
+        (Printf.sprintf
+           "Ghost.Exchange_failed: retries exhausted waiting for rank %d -> rank %d, tag %d"
+           src dst tag)
+    | _ -> None)

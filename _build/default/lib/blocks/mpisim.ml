@@ -1,20 +1,80 @@
-(** In-process message passing.
+(** In-process message passing with deterministic fault injection.
 
     Ranks live in one address space; messages are copied float arrays in
     per-(src, dst, tag) FIFO queues with MPI-like nonblocking semantics: all
     sends of a communication phase are posted before the matching receives
     are drained, and delivery order is deterministic.  This exercises the
     real pack / send / receive / unpack path of the ghost-layer exchange
-    while remaining reproducible in a sealed container. *)
+    while remaining reproducible in a sealed container.
+
+    On top of the fault-free substrate sits the machinery the resilience
+    subsystem needs:
+
+    + every message carries a per-channel sequence number and is kept in a
+      bounded retransmission log on the sender side;
+    + an optional {!Faultplan.t} decides, deterministically per (channel,
+      seq), whether a message is delivered, dropped, delayed against the
+      virtual clock, or duplicated — and whether one rank crashes at a
+      given step;
+    + receivers drive a virtual clock ([advance_clock] / [release_due]) and
+      can request retransmission of a missing sequence number, which is the
+      basis of the self-healing exchange in {!Ghost};
+    + [restart] models a failed rank being brought back: all in-flight
+      state is discarded (the caller reloads field state from a checkpoint)
+      and the crash is marked consumed so the replay runs clean. *)
+
+type message = { seq : int; payload : float array }
 
 type t = {
   n_ranks : int;
-  queues : (int * int * int, float array Queue.t) Hashtbl.t;
+  queues : (int * int * int, message Queue.t) Hashtbl.t;
+  send_seq : (int * int * int, int) Hashtbl.t;  (** next seq to assign per channel *)
+  recv_seq : (int * int * int, int) Hashtbl.t;  (** next seq expected per channel *)
+  sent_log : (int * int * int, message list) Hashtbl.t;
+      (** most recent first, pruned to [log_limit] *)
+  mutable delayed : (int * (int * int * int) * message) list;
+      (** (release_time, channel, message), sorted for deterministic release *)
+  mutable clock : int;          (** virtual time, driven by receiver backoff *)
+  mutable step : int;           (** current simulation step (crash trigger) *)
+  mutable plan : Faultplan.t option;
+  mutable crashed : int option; (** currently-dead rank, if any *)
+  mutable crash_consumed : bool;
   mutable bytes_sent : int;     (** cumulative payload volume *)
   mutable messages_sent : int;
+  mutable retransmissions : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed_count : int;
+  mutable stale_discarded : int; (** duplicates/late arrivals discarded by seq *)
+  mutable restarts : int;
 }
 
-let create n_ranks = { n_ranks; queues = Hashtbl.create 64; bytes_sent = 0; messages_sent = 0 }
+let log_limit = 16
+
+let create n_ranks =
+  {
+    n_ranks;
+    queues = Hashtbl.create 64;
+    send_seq = Hashtbl.create 64;
+    recv_seq = Hashtbl.create 64;
+    sent_log = Hashtbl.create 64;
+    delayed = [];
+    clock = 0;
+    step = 0;
+    plan = None;
+    crashed = None;
+    crash_consumed = false;
+    bytes_sent = 0;
+    messages_sent = 0;
+    retransmissions = 0;
+    dropped = 0;
+    duplicated = 0;
+    delayed_count = 0;
+    stale_discarded = 0;
+    restarts = 0;
+  }
+
+let set_fault_plan t plan = t.plan <- plan
 
 let queue t key =
   match Hashtbl.find_opt t.queues key with
@@ -24,20 +84,199 @@ let queue t key =
     Hashtbl.replace t.queues key q;
     q
 
+let is_crashed t rank = t.crashed = Some rank
+let live t rank = not (is_crashed t rank)
+
+(** Activate a pending crash: called at the start of every lockstep time
+    step with the current step index. *)
+let begin_step t ~step =
+  t.step <- step;
+  match t.plan with
+  | Some { Faultplan.crash = Some (rank, at); _ }
+    when step >= at && not t.crash_consumed ->
+    t.crashed <- Some rank
+  | _ -> ()
+
+let advance_clock t ticks = t.clock <- t.clock + max 1 ticks
+
+(* Deterministic insertion: the delayed pool stays sorted by
+   (release, channel, seq). *)
+let add_delayed t release key msg =
+  t.delayed <-
+    List.merge compare t.delayed [ (release, key, msg) ]
+
+(** Move every delayed message whose release time has come into its
+    delivery queue (in deterministic order). *)
+let release_due t =
+  let due, later = List.partition (fun (r, _, _) -> r <= t.clock) t.delayed in
+  t.delayed <- later;
+  List.iter (fun (_, key, msg) -> Queue.push msg (queue t key)) due
+
+let next_send_seq t key =
+  let s = Option.value (Hashtbl.find_opt t.send_seq key) ~default:0 in
+  Hashtbl.replace t.send_seq key (s + 1);
+  s
+
+let expected_seq t ~src ~dst ~tag =
+  Option.value (Hashtbl.find_opt t.recv_seq (src, dst, tag)) ~default:0
+
+let log_sent t key msg =
+  let prev = Option.value (Hashtbl.find_opt t.sent_log key) ~default:[] in
+  let rec prune n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | m :: rest -> m :: prune (n - 1) rest
+  in
+  Hashtbl.replace t.sent_log key (prune log_limit (msg :: prev))
+
 let send t ~src ~dst ~tag data =
   if src < 0 || src >= t.n_ranks || dst < 0 || dst >= t.n_ranks then
     invalid_arg "Mpisim.send: rank out of range";
-  Queue.push (Array.copy data) (queue t (src, dst, tag));
-  t.bytes_sent <- t.bytes_sent + (8 * Array.length data);
-  t.messages_sent <- t.messages_sent + 1
+  if is_crashed t src || is_crashed t dst then
+    (* a dead rank neither sends nor receives; nothing enters the network *)
+    t.dropped <- t.dropped + 1
+  else begin
+    let key = (src, dst, tag) in
+    let msg = { seq = next_send_seq t key; payload = Array.copy data } in
+    log_sent t key msg;
+    t.bytes_sent <- t.bytes_sent + (8 * Array.length data);
+    t.messages_sent <- t.messages_sent + 1;
+    match t.plan with
+    | None -> Queue.push msg (queue t key)
+    | Some plan -> (
+      match Faultplan.decide plan ~src ~dst ~tag ~seq:msg.seq with
+      | Faultplan.Deliver -> Queue.push msg (queue t key)
+      | Faultplan.Drop -> t.dropped <- t.dropped + 1
+      | Faultplan.Delay ticks ->
+        t.delayed_count <- t.delayed_count + 1;
+        add_delayed t (t.clock + ticks) key msg
+      | Faultplan.Duplicate ->
+        t.duplicated <- t.duplicated + 1;
+        Queue.push msg (queue t key);
+        Queue.push { msg with payload = msg.payload } (queue t key))
+  end
 
 exception No_message of (int * int * int)
 
+(** Plain FIFO receive (the fault-free fast path): pops the head message of
+    the channel, whatever its sequence number. *)
 let recv t ~src ~dst ~tag =
   let key = (src, dst, tag) in
   match Hashtbl.find_opt t.queues key with
-  | Some q when not (Queue.is_empty q) -> Queue.pop q
+  | Some q when not (Queue.is_empty q) ->
+    let msg = Queue.pop q in
+    let expected = expected_seq t ~src ~dst ~tag in
+    Hashtbl.replace t.recv_seq key (max expected (msg.seq + 1));
+    msg.payload
   | _ -> raise (No_message key)
 
-(** All queues drained — every posted message was consumed. *)
-let quiescent t = Hashtbl.fold (fun _ q acc -> acc && Queue.is_empty q) t.queues true
+(** Sequenced receive: returns the message with exactly the next expected
+    sequence number, discarding any stale (already-consumed) duplicates
+    encountered on the way, and leaving future messages queued.  [None]
+    means the expected message has not arrived (yet). *)
+let recv_expected t ~src ~dst ~tag =
+  let key = (src, dst, tag) in
+  let expected = expected_seq t ~src ~dst ~tag in
+  match Hashtbl.find_opt t.queues key with
+  | None -> None
+  | Some q ->
+    let fresh, stale =
+      List.partition
+        (fun m -> m.seq >= expected)
+        (List.of_seq (Queue.to_seq q))
+    in
+    t.stale_discarded <- t.stale_discarded + List.length stale;
+    Queue.clear q;
+    let hit = ref None in
+    List.iter
+      (fun m ->
+        if !hit = None && m.seq = expected then hit := Some m.payload
+        else Queue.push m q)
+      fresh;
+    if !hit <> None then Hashtbl.replace t.recv_seq key (expected + 1);
+    !hit
+
+(** Re-deliver sequence number [seq] of the channel from the sender's
+    retransmission log, bypassing fault injection (retry-until-success).
+    [`Crashed] if the sender rank is dead, [`Lost] if the log no longer
+    holds that message. *)
+let request_retransmit t ~src ~dst ~tag ~seq =
+  if is_crashed t src then `Crashed
+  else
+    let key = (src, dst, tag) in
+    match
+      List.find_opt
+        (fun m -> m.seq = seq)
+        (Option.value (Hashtbl.find_opt t.sent_log key) ~default:[])
+    with
+    | Some msg ->
+      t.retransmissions <- t.retransmissions + 1;
+      Queue.push msg (queue t key);
+      `Sent
+    | None -> `Lost
+
+(** All channels drained and nothing in the delayed pool. *)
+let quiescent t =
+  t.delayed = []
+  && Hashtbl.fold (fun _ q acc -> acc && Queue.is_empty q) t.queues true
+
+exception Unquiescent of (int * int * int * int) list
+(** Raised by {!finalize} when live (not-yet-consumed) messages remain
+    queued: one ((src, dst, tag), count) entry per offending channel. *)
+
+(** End-of-phase invariant: after a completed exchange nothing live may
+    remain in flight.  Releases the whole delayed pool and discards stale
+    duplicates first — those are legitimate leftovers of healed faults —
+    then raises {!Unquiescent} if any channel still holds a message with a
+    sequence number the receiver never consumed. *)
+let finalize t =
+  (match t.delayed with
+  | [] -> ()
+  | ds ->
+    t.clock <- List.fold_left (fun acc (r, _, _) -> max acc r) t.clock ds;
+    release_due t);
+  let leftovers = ref [] in
+  Hashtbl.iter
+    (fun ((src, dst, tag) as key) q ->
+      let expected = Option.value (Hashtbl.find_opt t.recv_seq key) ~default:0 in
+      let live = Queue.fold (fun acc m -> if m.seq >= expected then acc + 1 else acc) 0 q in
+      let stale = Queue.length q - live in
+      t.stale_discarded <- t.stale_discarded + stale;
+      Queue.clear q;
+      if live > 0 then leftovers := (src, dst, tag, live) :: !leftovers)
+    t.queues;
+  match List.sort compare !leftovers with
+  | [] -> ()
+  | ls -> raise (Unquiescent ls)
+
+(** Bring a crashed substrate back for replay after a rollback: every
+    queue, log, counter stream and the delayed pool are discarded, and the
+    crash is marked consumed so the same step replays cleanly.  Cumulative
+    traffic statistics survive. *)
+let restart t =
+  Hashtbl.reset t.queues;
+  Hashtbl.reset t.send_seq;
+  Hashtbl.reset t.recv_seq;
+  Hashtbl.reset t.sent_log;
+  t.delayed <- [];
+  t.crashed <- None;
+  t.crash_consumed <- true;
+  t.restarts <- t.restarts + 1
+
+let () =
+  Printexc.register_printer (function
+    | No_message (src, dst, tag) ->
+      Some
+        (Printf.sprintf
+           "Mpisim.No_message: no message queued from rank %d to rank %d with tag %d" src
+           dst tag)
+    | Unquiescent ls ->
+      Some
+        (Printf.sprintf "Mpisim.Unquiescent: undelivered messages at finalize: %s"
+           (String.concat ", "
+              (List.map
+                 (fun (src, dst, tag, n) ->
+                   Printf.sprintf "%d message(s) from rank %d to rank %d with tag %d" n
+                     src dst tag)
+                 ls)))
+    | _ -> None)

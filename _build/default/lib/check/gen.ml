@@ -339,3 +339,61 @@ let arb_model : model_sample QCheck.arbitrary =
      let* split = G.bool in
      let* steps = G.int_range 1 3 in
      G.return { mseed; split; steps })
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 6: random fault schedules and checkpoint cadences            *)
+(* ------------------------------------------------------------------ *)
+
+type resilience_sample = {
+  rseed : int;        (** initial-condition seed *)
+  plan_seed : int;    (** keys the Philox fault-decision streams *)
+  drop : float;
+  delay : float;
+  duplicate : float;
+  crash_rank : int;
+  crash_step : int;   (** the rank dies entering this step *)
+  ckpt_every : int;
+  rsteps : int;       (** total steps the protected run must complete *)
+}
+
+let pp_resilience ppf (s : resilience_sample) =
+  Fmt.pf ppf
+    "seed %d, plan %d (drop %.2f delay %.2f dup %.2f), rank %d dies at step %d, \
+     checkpoint every %d, %d steps"
+    s.rseed s.plan_seed s.drop s.delay s.duplicate s.crash_rank s.crash_step
+    s.ckpt_every s.rsteps
+
+let shrink_resilience (s : resilience_sample) yield =
+  if s.rsteps > s.crash_step + 1 then yield { s with rsteps = s.rsteps - 1 };
+  if s.crash_step > 1 then
+    yield { s with crash_step = s.crash_step - 1; rsteps = s.rsteps - 1 };
+  if s.drop > 0. then yield { s with drop = 0. };
+  if s.delay > 0. then yield { s with delay = 0. };
+  if s.duplicate > 0. then yield { s with duplicate = 0. };
+  if s.ckpt_every > 1 then yield { s with ckpt_every = s.ckpt_every - 1 }
+
+let arb_resilience : resilience_sample QCheck.arbitrary =
+  QCheck.make
+    ~print:(Fmt.str "%a" pp_resilience)
+    ~shrink:shrink_resilience
+    (let* rseed = G.int_bound 10_000 in
+     let* plan_seed = G.int_bound 1000 in
+     let* drop = G.oneofl [ 0.; 0.05; 0.1 ] in
+     let* delay = G.oneofl [ 0.; 0.08; 0.15 ] in
+     let* duplicate = G.oneofl [ 0.; 0.05; 0.1 ] in
+     let* crash_rank = G.int_bound 3 in
+     let* crash_step = G.int_range 1 3 in
+     let* tail = G.int_range 1 3 in
+     let* ckpt_every = G.int_range 1 3 in
+     G.return
+       {
+         rseed;
+         plan_seed;
+         drop;
+         delay;
+         duplicate;
+         crash_rank;
+         crash_step;
+         ckpt_every;
+         rsteps = crash_step + tail;
+       })

@@ -323,6 +323,98 @@ let single_vs_forest ~count =
       !ok)
 
 (* ------------------------------------------------------------------ *)
+(* Oracle 6: resilience — snapshots and crash-restart                  *)
+(* ------------------------------------------------------------------ *)
+
+let make_forest ~seed =
+  let gen = Lazy.force curvature_gen in
+  let forest =
+    Blocks.Forest.create ~grid:[| 2; 2 |]
+      ~block_dims:[| global2.(0) / 2; global2.(1) / 2 |]
+      gen
+  in
+  Array.iter (fun sim -> init_model_phi sim ~seed) forest.Blocks.Forest.sims;
+  Blocks.Forest.prime forest;
+  forest
+
+(* Snapshot → encode → decode → restore must be the identity on every
+   buffer element, ghost layers included. *)
+let snapshot_roundtrip ~count =
+  QCheck.Test.make ~name:"oracle6: snapshot encode/decode/restore = identity (bitwise)"
+    ~count Gen.arb_model
+    (fun s ->
+      let forest = make_forest ~seed:s.Gen.mseed in
+      Blocks.Forest.run forest ~steps:s.Gen.steps;
+      let snap = Resilience.Snapshot.capture forest in
+      let decoded = Resilience.Snapshot.decode (Resilience.Snapshot.encode snap) in
+      if not (Resilience.Snapshot.equal snap decoded) then false
+      else begin
+        (* restoring into a freshly initialized forest must reproduce the
+           evolved state exactly, padding included *)
+        let fresh = make_forest ~seed:(s.Gen.mseed + 1) in
+        Resilience.Snapshot.restore decoded fresh;
+        Resilience.Snapshot.equal snap (Resilience.Snapshot.capture fresh)
+      end)
+
+(* Any single flipped byte in the encoded stream must be rejected by the
+   CRC (or the structural validation), never silently accepted. *)
+let snapshot_corruption ~count =
+  QCheck.Test.make ~name:"oracle6: corrupted snapshot is rejected by checksum" ~count
+    Gen.arb_model
+    (fun s ->
+      let forest = make_forest ~seed:s.Gen.mseed in
+      let encoded = Resilience.Snapshot.encode (Resilience.Snapshot.capture forest) in
+      let pos = s.Gen.mseed mod String.length encoded in
+      let b = Bytes.of_string encoded in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+      match Resilience.Snapshot.decode (Bytes.to_string b) with
+      | _ -> false
+      | exception Resilience.Snapshot.Invalid _ -> true)
+
+(* The crowning oracle: run K steps, crash a rank, roll back to the last
+   checkpoint, replay to 2K — the result must be bitwise identical to an
+   undisturbed 2K-step run, for arbitrary drop/delay/duplicate schedules. *)
+let crash_restart_bitwise ~count =
+  QCheck.Test.make
+    ~name:"oracle6: crash + rollback + replay = undisturbed run (bitwise)" ~count
+    Gen.arb_resilience
+    (fun s ->
+      let clean = make_forest ~seed:s.Gen.rseed in
+      Blocks.Forest.run clean ~steps:s.Gen.rsteps;
+      let faulty = make_forest ~seed:s.Gen.rseed in
+      let plan =
+        {
+          Blocks.Faultplan.seed = s.Gen.plan_seed;
+          drop = s.Gen.drop;
+          delay = s.Gen.delay;
+          duplicate = s.Gen.duplicate;
+          max_delay = 3;
+          crash = Some (s.Gen.crash_rank, s.Gen.crash_step);
+        }
+      in
+      Blocks.Mpisim.set_fault_plan faulty.Blocks.Forest.comm (Some plan);
+      let stats =
+        Resilience.Recovery.run_protected ~every:s.Gen.ckpt_every ~steps:s.Gen.rsteps
+          faulty
+      in
+      if stats.Resilience.Recovery.restarts < 1 then false
+      else
+        let phi =
+          (Lazy.force curvature_gen).Pfcore.Genkernels.fields.Pfcore.Model.phi_src
+        in
+        let ok = ref true in
+        for gy = 0 to global2.(1) - 1 do
+          for gx = 0 to global2.(0) - 1 do
+            for c = 0 to phi.Fieldspec.components - 1 do
+              let a = Blocks.Forest.get clean phi ~component:c [| gx; gy |] in
+              let b = Blocks.Forest.get faulty phi ~component:c [| gx; gy |] in
+              if not (bits_equal a b) then ok := false
+            done
+          done
+        done;
+        !ok)
+
+(* ------------------------------------------------------------------ *)
 (* The harness's test list                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -335,4 +427,7 @@ let all ~count =
       full_vs_split ~count;
       serial_vs_domains ~count:(max 3 (count / 2));
       single_vs_forest ~count:(max 2 (count / 6));
+      snapshot_roundtrip ~count:(max 2 (count / 4));
+      snapshot_corruption ~count:(max 4 (count / 2));
+      crash_restart_bitwise ~count:(max 2 (count / 8));
     ]

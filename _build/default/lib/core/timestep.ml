@@ -117,10 +117,20 @@ let step t =
   if has_mu t then t.exchange t.block f.mu_dst;
   finish t
 
-let run t ~steps =
+(** Advance [steps] steps; [on_step] fires after every completed step —
+    the hook the resilience driver uses to checkpoint every N steps. *)
+let run ?(on_step = fun (_ : t) -> ()) t ~steps =
   for _ = 1 to steps do
-    step t
+    step t;
+    on_step t
   done
+
+(** Resume entry point: reset the step counter and physical time to those
+    of a restored snapshot (field buffers are restored separately by
+    [Resilience.Snapshot]). *)
+let restore t ~step ~time =
+  t.step_count <- step;
+  t.time <- time
 
 (** Cells updated per full time step (for MLUP/s reporting). *)
 let lups_per_step t = Array.fold_left ( * ) 1 t.block.Vm.Engine.dims

@@ -1,0 +1,1 @@
+lib/resilience/crc.ml: Array Char Lazy String

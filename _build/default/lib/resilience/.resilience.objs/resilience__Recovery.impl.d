@@ -1,0 +1,1 @@
+lib/resilience/recovery.ml: Blocks Snapshot Store

@@ -1,0 +1,1 @@
+lib/resilience/store.ml: List Snapshot

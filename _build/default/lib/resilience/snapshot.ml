@@ -1,0 +1,334 @@
+(** Versioned, checksummed binary snapshots of full simulation state.
+
+    A snapshot captures everything a bitwise-identical restart needs: the
+    block-forest topology (rank grid, block and global dimensions), every
+    per-block field buffer *including ghost layers*, the timestep index and
+    physical time, the kernel-variant selection, and a fingerprint of the
+    model parameters the kernels were generated from.  Because the Philox
+    fluctuation streams are keyed on (cell, step) and message ordering is
+    deterministic, restoring a snapshot and rerunning reproduces the
+    uninterrupted run bit for bit — the property [Resilience.Recovery] and
+    the `check` oracles verify.
+
+    The binary encoding is little-endian, versioned by magic, and guarded
+    by a CRC-32 over the entire payload: a corrupted file is rejected with
+    {!Invalid}, never silently resumed. *)
+
+exception Invalid of string
+(** Malformed, truncated, version-mismatched or corrupted snapshot data. *)
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+type field_state = { fname : string; data : float array (** full padded buffer *) }
+type block_state = { offset : int array; fields : field_state list }
+
+type t = {
+  fingerprint : int;      (** CRC-32 of the marshalled model parameters *)
+  split_phi : bool;
+  split_mu : bool;
+  step : int;
+  time : float;
+  grid : int array;       (** ranks per axis; all ones for a single block *)
+  block_dims : int array;
+  global_dims : int array;
+  blocks : block_state array;
+}
+
+(** Deterministic fingerprint of a model-parameter set: resuming under a
+    different model is an error, not a wrong answer. *)
+let fingerprint_of_params (p : Pfcore.Params.t) = Crc.digest (Marshal.to_string p [])
+
+(* ------------------------------------------------------------------ *)
+(* Capture                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let capture_block (block : Vm.Engine.block) =
+  {
+    offset = Array.copy block.Vm.Engine.offset;
+    fields =
+      List.map
+        (fun ((f : Symbolic.Fieldspec.t), (buf : Vm.Buffer.t)) ->
+          { fname = f.Symbolic.Fieldspec.name; data = Array.copy buf.Vm.Buffer.data })
+        block.Vm.Engine.buffers;
+  }
+
+let is_split = function Pfcore.Timestep.Split -> true | Pfcore.Timestep.Full -> false
+
+(** Snapshot a whole block forest (lockstep: all ranks share the step
+    index and time). *)
+let capture (f : Blocks.Forest.t) =
+  let sim0 = f.Blocks.Forest.sims.(0) in
+  {
+    fingerprint = fingerprint_of_params sim0.Pfcore.Timestep.gen.Pfcore.Genkernels.params;
+    split_phi = is_split sim0.Pfcore.Timestep.variant_phi;
+    split_mu = is_split sim0.Pfcore.Timestep.variant_mu;
+    step = sim0.Pfcore.Timestep.step_count;
+    time = sim0.Pfcore.Timestep.time;
+    grid = Array.copy f.Blocks.Forest.grid;
+    block_dims = Array.copy f.Blocks.Forest.block_dims;
+    global_dims = Array.copy f.Blocks.Forest.global_dims;
+    blocks =
+      Array.map (fun (s : Pfcore.Timestep.t) -> capture_block s.Pfcore.Timestep.block)
+        f.Blocks.Forest.sims;
+  }
+
+(** Snapshot a single-block simulation (a 1×…×1 forest). *)
+let capture_single (sim : Pfcore.Timestep.t) =
+  let block = sim.Pfcore.Timestep.block in
+  {
+    fingerprint = fingerprint_of_params sim.Pfcore.Timestep.gen.Pfcore.Genkernels.params;
+    split_phi = is_split sim.Pfcore.Timestep.variant_phi;
+    split_mu = is_split sim.Pfcore.Timestep.variant_mu;
+    step = sim.Pfcore.Timestep.step_count;
+    time = sim.Pfcore.Timestep.time;
+    grid = Array.make (Array.length block.Vm.Engine.dims) 1;
+    block_dims = Array.copy block.Vm.Engine.dims;
+    global_dims = Array.copy block.Vm.Engine.global_dims;
+    blocks = [| capture_block block |];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Restore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let require_same_dims what (a : int array) (b : int array) =
+  if a <> b then
+    invalid "snapshot %s mismatch: stored %s, target %s" what
+      (String.concat "x" (List.map string_of_int (Array.to_list a)))
+      (String.concat "x" (List.map string_of_int (Array.to_list b)))
+
+let restore_block (t : block_state) (block : Vm.Engine.block) =
+  require_same_dims "block offset" t.offset block.Vm.Engine.offset;
+  List.iter
+    (fun ((f : Symbolic.Fieldspec.t), (buf : Vm.Buffer.t)) ->
+      match List.find_opt (fun fs -> fs.fname = f.Symbolic.Fieldspec.name) t.fields with
+      | None -> invalid "snapshot is missing field %s" f.Symbolic.Fieldspec.name
+      | Some fs ->
+        if Array.length fs.data <> Array.length buf.Vm.Buffer.data then
+          invalid "snapshot field %s has %d elements, buffer expects %d"
+            f.Symbolic.Fieldspec.name (Array.length fs.data)
+            (Array.length buf.Vm.Buffer.data);
+        Array.blit fs.data 0 buf.Vm.Buffer.data 0 (Array.length fs.data))
+    block.Vm.Engine.buffers
+
+let check_fingerprint t params =
+  let fp = fingerprint_of_params params in
+  if t.fingerprint <> fp then
+    invalid "snapshot was taken with a different model (fingerprint %08x, ours %08x)"
+      t.fingerprint fp
+
+(** Load a snapshot into an existing forest of identical topology and
+    model; ghost layers are restored verbatim, so no re-priming is needed
+    and the continuation is bitwise identical. *)
+let restore t (f : Blocks.Forest.t) =
+  check_fingerprint t
+    f.Blocks.Forest.sims.(0).Pfcore.Timestep.gen.Pfcore.Genkernels.params;
+  require_same_dims "grid" t.grid f.Blocks.Forest.grid;
+  require_same_dims "block dims" t.block_dims f.Blocks.Forest.block_dims;
+  require_same_dims "global dims" t.global_dims f.Blocks.Forest.global_dims;
+  if Array.length t.blocks <> Array.length f.Blocks.Forest.sims then
+    invalid "snapshot holds %d blocks, forest has %d ranks" (Array.length t.blocks)
+      (Array.length f.Blocks.Forest.sims);
+  Array.iteri
+    (fun i (sim : Pfcore.Timestep.t) ->
+      restore_block t.blocks.(i) sim.Pfcore.Timestep.block;
+      Pfcore.Timestep.restore sim ~step:t.step ~time:t.time)
+    f.Blocks.Forest.sims
+
+(** Load a single-block snapshot into an existing simulation. *)
+let restore_single t (sim : Pfcore.Timestep.t) =
+  check_fingerprint t sim.Pfcore.Timestep.gen.Pfcore.Genkernels.params;
+  if Array.exists (fun g -> g <> 1) t.grid then
+    invalid "snapshot is a %d-rank forest, not a single block"
+      (Array.fold_left ( * ) 1 t.grid);
+  require_same_dims "block dims" t.block_dims sim.Pfcore.Timestep.block.Vm.Engine.dims;
+  restore_block t.blocks.(0) sim.Pfcore.Timestep.block;
+  Pfcore.Timestep.restore sim ~step:t.step ~time:t.time
+
+(* ------------------------------------------------------------------ *)
+(* Binary encoding                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "PFSNAP1\n"
+let version = 1
+
+let encode_payload t =
+  let b = Buffer.create (1 lsl 16) in
+  let i32 n = Buffer.add_int32_le b (Int32.of_int n) in
+  let i64 n = Buffer.add_int64_le b (Int64.of_int n) in
+  let f64 x = Buffer.add_int64_le b (Int64.bits_of_float x) in
+  let ints a =
+    i32 (Array.length a);
+    Array.iter i32 a
+  in
+  i32 version;
+  i32 t.fingerprint;
+  Buffer.add_uint8 b (if t.split_phi then 1 else 0);
+  Buffer.add_uint8 b (if t.split_mu then 1 else 0);
+  i64 t.step;
+  f64 t.time;
+  ints t.grid;
+  ints t.block_dims;
+  ints t.global_dims;
+  i32 (Array.length t.blocks);
+  Array.iter
+    (fun blk ->
+      ints blk.offset;
+      i32 (List.length blk.fields);
+      List.iter
+        (fun fs ->
+          i32 (String.length fs.fname);
+          Buffer.add_string b fs.fname;
+          i32 (Array.length fs.data);
+          Array.iter f64 fs.data)
+        blk.fields)
+    t.blocks;
+  Buffer.contents b
+
+(** Serialize to the versioned, checksummed wire format:
+    magic · CRC-32(payload) · payload-length · payload. *)
+let encode t =
+  let payload = encode_payload t in
+  let b = Buffer.create (String.length payload + 24) in
+  Buffer.add_string b magic;
+  Buffer.add_int32_le b (Int32.of_int (Crc.digest payload));
+  Buffer.add_int32_le b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+type cursor = { s : string; mutable pos : int }
+
+let read_i32 c =
+  if c.pos + 4 > String.length c.s then invalid "truncated snapshot (at byte %d)" c.pos;
+  let v = Int32.to_int (String.get_int32_le c.s c.pos) in
+  c.pos <- c.pos + 4;
+  v land 0xFFFFFFFF
+
+let read_i64 c =
+  if c.pos + 8 > String.length c.s then invalid "truncated snapshot (at byte %d)" c.pos;
+  let v = String.get_int64_le c.s c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let read_u8 c =
+  if c.pos + 1 > String.length c.s then invalid "truncated snapshot (at byte %d)" c.pos;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let read_string c n =
+  if n < 0 || c.pos + n > String.length c.s then
+    invalid "truncated snapshot (at byte %d)" c.pos;
+  let v = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  v
+
+let bounded what n limit = if n < 0 || n > limit then invalid "implausible %s count %d" what n
+
+let read_ints c =
+  let n = read_i32 c in
+  bounded "axis" n 16;
+  Array.init n (fun _ -> read_i32 c)
+
+(** Parse and validate a snapshot; raises {!Invalid} on bad magic, version
+    skew, truncation or checksum mismatch. *)
+let decode s =
+  if String.length s < String.length magic + 8 then invalid "not a snapshot: too short";
+  if String.sub s 0 (String.length magic) <> magic then
+    invalid "not a snapshot: bad magic";
+  let c = { s; pos = String.length magic } in
+  let crc = read_i32 c in
+  let len = read_i32 c in
+  if c.pos + len <> String.length s then
+    invalid "snapshot length field says %d payload bytes, file has %d" len
+      (String.length s - c.pos);
+  let payload = String.sub s c.pos len in
+  let actual = Crc.digest payload in
+  if actual <> crc then
+    invalid "checksum mismatch (stored %08x, computed %08x): snapshot is corrupted" crc
+      actual;
+  let c = { s = payload; pos = 0 } in
+  let v = read_i32 c in
+  if v <> version then invalid "unsupported snapshot version %d (expected %d)" v version;
+  let fingerprint = read_i32 c in
+  let split_phi = read_u8 c = 1 in
+  let split_mu = read_u8 c = 1 in
+  let step = Int64.to_int (read_i64 c) in
+  let time = Int64.float_of_bits (read_i64 c) in
+  let grid = read_ints c in
+  let block_dims = read_ints c in
+  let global_dims = read_ints c in
+  let n_blocks = read_i32 c in
+  bounded "block" n_blocks 65536;
+  let blocks =
+    Array.init n_blocks (fun _ ->
+        let offset = read_ints c in
+        let n_fields = read_i32 c in
+        bounded "field" n_fields 256;
+        let fields =
+          List.init n_fields (fun _ ->
+              let n = read_i32 c in
+              bounded "name byte" n 4096;
+              let fname = read_string c n in
+              let len = read_i32 c in
+              bounded "element" len (1 lsl 28);
+              let data = Array.init len (fun _ -> Int64.float_of_bits (read_i64 c)) in
+              { fname; data })
+        in
+        { offset; fields })
+  in
+  if c.pos <> String.length payload then
+    invalid "trailing garbage after snapshot payload (%d bytes)"
+      (String.length payload - c.pos);
+  { fingerprint; split_phi; split_mu; step; time; grid; block_dims; global_dims; blocks }
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let save path t =
+  let oc = open_out_bin path in
+  output_string oc (encode t);
+  close_out oc
+
+let load path =
+  let ic = try open_in_bin path with Sys_error e -> invalid "cannot open snapshot: %s" e in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  decode s
+
+(* ------------------------------------------------------------------ *)
+(* Comparison and reporting                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(** Bitwise structural equality — ghost layers included. *)
+let equal a b =
+  a.fingerprint = b.fingerprint
+  && a.split_phi = b.split_phi
+  && a.split_mu = b.split_mu
+  && a.step = b.step
+  && bits_equal a.time b.time
+  && a.grid = b.grid
+  && a.block_dims = b.block_dims
+  && a.global_dims = b.global_dims
+  && Array.length a.blocks = Array.length b.blocks
+  && Array.for_all2
+       (fun ba bb ->
+         ba.offset = bb.offset
+         && List.length ba.fields = List.length bb.fields
+         && List.for_all2
+              (fun fa fb ->
+                fa.fname = fb.fname
+                && Array.length fa.data = Array.length fb.data
+                && Array.for_all2 bits_equal fa.data fb.data)
+              ba.fields bb.fields)
+       a.blocks b.blocks
+
+let pp ppf t =
+  Fmt.pf ppf "snapshot{step %d, t=%g, grid %s, %d block(s), fingerprint %08x}" t.step
+    t.time
+    (String.concat "x" (List.map string_of_int (Array.to_list t.grid)))
+    (Array.length t.blocks) t.fingerprint

@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Array Blocks Bytes Char Filename Fun Lazy List Pfcore Printexc Printf Resilience String Sys

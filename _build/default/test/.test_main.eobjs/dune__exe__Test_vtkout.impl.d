@@ -1,0 +1,1 @@
+test/test_vtkout.ml: Alcotest Filename Fun Golden List Pfcore String Sys

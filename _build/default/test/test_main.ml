@@ -11,6 +11,8 @@ let () =
       ("vm", Test_vm.suite);
       ("kernels", Test_kernels.suite);
       ("blocks", Test_blocks.suite);
+      ("resilience", Test_resilience.suite);
+      ("vtkout", Test_vtkout.suite);
       ("perfmodel", Test_perf.suite);
       ("gpumodel", Test_gpu.suite);
       ("backend", Test_backend.suite);

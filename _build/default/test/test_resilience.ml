@@ -1,0 +1,227 @@
+(* Resilience subsystem: snapshot format, bounded store, fault plans, the
+   self-healing exchange, and the rollback-recovery driver. *)
+
+let curvature = lazy (Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ()))
+
+let make_forest () =
+  let g = Lazy.force curvature in
+  let forest = Blocks.Forest.create ~grid:[| 2; 2 |] ~block_dims:[| 8; 8 |] g in
+  Array.iter Pfcore.Simulation.init_sphere forest.Blocks.Forest.sims;
+  Blocks.Forest.prime forest;
+  forest
+
+let make_single () =
+  let g = Lazy.force curvature in
+  let sim = Pfcore.Timestep.create ~dims:[| 12; 12 |] g in
+  Pfcore.Simulation.init_sphere sim;
+  Pfcore.Timestep.prime sim;
+  sim
+
+let phi () = (Lazy.force curvature).Pfcore.Genkernels.fields.Pfcore.Model.phi_src
+
+let forests_bitwise_equal a b =
+  Resilience.Snapshot.equal (Resilience.Snapshot.capture a)
+    (Resilience.Snapshot.capture b)
+
+(* --------------- snapshot format ----------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  let sim = make_single () in
+  Pfcore.Timestep.run sim ~steps:3;
+  let snap = Resilience.Snapshot.capture_single sim in
+  let decoded = Resilience.Snapshot.decode (Resilience.Snapshot.encode snap) in
+  Alcotest.(check bool) "decode . encode = id" true
+    (Resilience.Snapshot.equal snap decoded);
+  Alcotest.(check int) "step stored" 3 decoded.Resilience.Snapshot.step;
+  (* restoring into a differently-evolved sim reproduces the state bitwise *)
+  let other = make_single () in
+  Pfcore.Timestep.run other ~steps:1;
+  Resilience.Snapshot.restore_single decoded other;
+  Alcotest.(check bool) "restore reproduces capture" true
+    (Resilience.Snapshot.equal snap (Resilience.Snapshot.capture_single other));
+  Alcotest.(check int) "step restored" 3 other.Pfcore.Timestep.step_count
+
+let test_snapshot_file_roundtrip () =
+  let sim = make_single () in
+  Pfcore.Timestep.run sim ~steps:2;
+  let snap = Resilience.Snapshot.capture_single sim in
+  let path = Filename.temp_file "pfgen" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Resilience.Snapshot.save path snap;
+      Alcotest.(check bool) "file roundtrip" true
+        (Resilience.Snapshot.equal snap (Resilience.Snapshot.load path)))
+
+let test_snapshot_corruption_rejected () =
+  let sim = make_single () in
+  let snap = Resilience.Snapshot.capture_single sim in
+  let encoded = Resilience.Snapshot.encode snap in
+  (* flip one bit in a handful of positions spread over the file: header,
+     metadata and payload corruption must all be rejected *)
+  List.iter
+    (fun frac ->
+      let pos = String.length encoded * frac / 100 in
+      let b = Bytes.of_string encoded in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+      match Resilience.Snapshot.decode (Bytes.to_string b) with
+      | _ -> Alcotest.failf "corruption at byte %d accepted" pos
+      | exception Resilience.Snapshot.Invalid _ -> ())
+    [ 0; 3; 10; 50; 99 ];
+  (* truncation too *)
+  (match Resilience.Snapshot.decode (String.sub encoded 0 40) with
+  | _ -> Alcotest.fail "truncated snapshot accepted"
+  | exception Resilience.Snapshot.Invalid _ -> ())
+
+let test_snapshot_fingerprint_guard () =
+  let sim = make_single () in
+  let snap = Resilience.Snapshot.capture_single sim in
+  let wrong = { snap with Resilience.Snapshot.fingerprint = snap.fingerprint lxor 1 } in
+  match Resilience.Snapshot.restore_single wrong sim with
+  | _ -> Alcotest.fail "wrong-model snapshot accepted"
+  | exception Resilience.Snapshot.Invalid _ -> ()
+
+let test_store_bounded () =
+  let sim = make_single () in
+  let store = Resilience.Store.create ~capacity:3 () in
+  Alcotest.(check bool) "empty" true (Resilience.Store.latest store = None);
+  for i = 1 to 5 do
+    Pfcore.Timestep.run sim ~steps:1;
+    Resilience.Store.put store (Resilience.Snapshot.capture_single sim);
+    Alcotest.(check int)
+      (Printf.sprintf "count after %d" i)
+      (min i 3) (Resilience.Store.count store)
+  done;
+  (match Resilience.Store.latest store with
+  | Some s -> Alcotest.(check int) "latest is newest" 5 s.Resilience.Snapshot.step
+  | None -> Alcotest.fail "store empty after puts");
+  Resilience.Store.clear store;
+  Alcotest.(check int) "cleared" 0 (Resilience.Store.count store)
+
+(* --------------- fault plans ---------------------------------------- *)
+
+let test_faultplan_deterministic () =
+  let plan = Blocks.Faultplan.chaos ~seed:7 ~crash_step:99 () in
+  for seq = 0 to 50 do
+    let d1 = Blocks.Faultplan.decide plan ~src:0 ~dst:1 ~tag:2 ~seq in
+    let d2 = Blocks.Faultplan.decide plan ~src:0 ~dst:1 ~tag:2 ~seq in
+    Alcotest.(check bool) (Printf.sprintf "seq %d stable" seq) true (d1 = d2)
+  done;
+  (* the none plan never touches a message *)
+  for seq = 0 to 50 do
+    Alcotest.(check bool) "none delivers" true
+      (Blocks.Faultplan.decide Blocks.Faultplan.none ~src:3 ~dst:0 ~tag:1 ~seq
+      = Blocks.Faultplan.Deliver)
+  done
+
+(* --------------- substrate invariants ------------------------------- *)
+
+let test_finalize_invariant () =
+  let c = Blocks.Mpisim.create 2 in
+  Blocks.Mpisim.send c ~src:0 ~dst:1 ~tag:3 [| 1.; 2. |];
+  (match Blocks.Mpisim.finalize c with
+  | () -> Alcotest.fail "finalize accepted an undelivered message"
+  | exception Blocks.Mpisim.Unquiescent [ (0, 1, 3, 1) ] -> ()
+  | exception Blocks.Mpisim.Unquiescent other ->
+    Alcotest.failf "wrong leftovers (%d channels)" (List.length other));
+  (* after the failed finalize drained the queues, a second one is clean *)
+  Blocks.Mpisim.finalize c;
+  (* consumed messages never trip the invariant (fresh channel: the
+     drained one has a permanently lost sequence number, by design) *)
+  Blocks.Mpisim.send c ~src:0 ~dst:1 ~tag:4 [| 4. |];
+  (match Blocks.Mpisim.recv_expected c ~src:0 ~dst:1 ~tag:4 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected message not delivered");
+  Blocks.Mpisim.finalize c
+
+let test_no_message_rendering () =
+  Alcotest.(check string) "No_message renders its channel"
+    "Mpisim.No_message: no message queued from rank 2 to rank 0 with tag 5"
+    (Printexc.to_string (Blocks.Mpisim.No_message (2, 0, 5)));
+  Alcotest.(check string) "Unquiescent renders its channels"
+    "Mpisim.Unquiescent: undelivered messages at finalize: 2 message(s) from rank 0 \
+     to rank 1 with tag 3"
+    (Printexc.to_string (Blocks.Mpisim.Unquiescent [ (0, 1, 3, 2) ]))
+
+(* --------------- self-healing exchange ------------------------------ *)
+
+let with_plan plan forest =
+  Blocks.Mpisim.set_fault_plan forest.Blocks.Forest.comm (Some plan);
+  forest
+
+let test_faults_without_crash_heal () =
+  let clean = make_forest () in
+  Blocks.Forest.run clean ~steps:4;
+  let faulty =
+    with_plan
+      { (Blocks.Faultplan.chaos ~seed:3 ~crash_step:0 ()) with Blocks.Faultplan.crash = None }
+      (make_forest ())
+  in
+  Blocks.Forest.run faulty ~steps:4;
+  let c = faulty.Blocks.Forest.comm in
+  Alcotest.(check bool) "faults actually injected" true
+    (c.Blocks.Mpisim.dropped + c.Blocks.Mpisim.duplicated + c.Blocks.Mpisim.delayed_count
+    > 0);
+  Alcotest.(check bool) "drops were healed by retransmission" true
+    (c.Blocks.Mpisim.retransmissions > 0);
+  Alcotest.(check bool) "healed run is bitwise identical" true
+    (forests_bitwise_equal clean faulty)
+
+let test_crash_restart_bitwise () =
+  let clean = make_forest () in
+  Blocks.Forest.run clean ~steps:6;
+  let faulty =
+    with_plan (Blocks.Faultplan.chaos ~seed:11 ~crash_step:3 ()) (make_forest ())
+  in
+  let stats = Resilience.Recovery.run_protected ~every:2 ~steps:6 faulty in
+  Alcotest.(check int) "exactly one restart" 1 stats.Resilience.Recovery.restarts;
+  Alcotest.(check bool) "steps were replayed" true
+    (stats.Resilience.Recovery.replayed_steps >= 1);
+  Alcotest.(check bool) "checkpoints taken" true
+    (stats.Resilience.Recovery.checkpoints >= 2);
+  Alcotest.(check int) "run completed all steps" 6 (Blocks.Forest.step_count faulty);
+  Alcotest.(check bool) "recovered run is bitwise identical" true
+    (forests_bitwise_equal clean faulty)
+
+let test_forest_snapshot_restore_continues () =
+  (* checkpoint at step 2, keep running to 5, roll back, rerun 3 steps:
+     both trajectories must agree bitwise *)
+  let forest = make_forest () in
+  Blocks.Forest.run forest ~steps:2;
+  let snap = Resilience.Snapshot.capture forest in
+  Blocks.Forest.run forest ~steps:3;
+  let at5 = Resilience.Snapshot.capture forest in
+  Resilience.Snapshot.restore snap forest;
+  Alcotest.(check int) "rolled back" 2 (Blocks.Forest.step_count forest);
+  Blocks.Forest.run forest ~steps:3;
+  Alcotest.(check bool) "replay is bitwise identical" true
+    (Resilience.Snapshot.equal at5 (Resilience.Snapshot.capture forest))
+
+(* --------------- timestep hooks ------------------------------------- *)
+
+let test_on_step_hook () =
+  let sim = make_single () in
+  let seen = ref [] in
+  Pfcore.Timestep.run sim ~steps:3
+    ~on_step:(fun s -> seen := s.Pfcore.Timestep.step_count :: !seen);
+  Alcotest.(check (list int)) "hook fires after every step" [ 1; 2; 3 ]
+    (List.rev !seen);
+  Pfcore.Timestep.restore sim ~step:7 ~time:0.25;
+  Alcotest.(check int) "restore sets step" 7 sim.Pfcore.Timestep.step_count;
+  Alcotest.(check (float 0.)) "restore sets time" 0.25 sim.Pfcore.Timestep.time
+
+let suite =
+  [
+    Alcotest.test_case "snapshot roundtrip (bitwise)" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot file save/load" `Quick test_snapshot_file_roundtrip;
+    Alcotest.test_case "corrupted snapshot rejected" `Quick test_snapshot_corruption_rejected;
+    Alcotest.test_case "fingerprint guards restore" `Quick test_snapshot_fingerprint_guard;
+    Alcotest.test_case "store is bounded" `Quick test_store_bounded;
+    Alcotest.test_case "fault plan deterministic" `Quick test_faultplan_deterministic;
+    Alcotest.test_case "finalize quiescence invariant" `Quick test_finalize_invariant;
+    Alcotest.test_case "failure rendering" `Quick test_no_message_rendering;
+    Alcotest.test_case "faults heal without crash" `Slow test_faults_without_crash_heal;
+    Alcotest.test_case "crash + rollback is bitwise" `Slow test_crash_restart_bitwise;
+    Alcotest.test_case "snapshot restore continues" `Slow test_forest_snapshot_restore_continues;
+    Alcotest.test_case "on_step hook and restore" `Quick test_on_step_hook;
+  ]

@@ -1,0 +1,54 @@
+(* Legacy-VTK output: golden-snapshot a tiny file so header layout, scalar
+   ordering and number formatting stay stable (refresh with
+   PFGEN_UPDATE_GOLDEN=1 dune runtest, like the backend snapshots). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_vtk_golden () =
+  let g = Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ()) in
+  let sim = Pfcore.Timestep.create ~dims:[| 6; 5 |] g in
+  Pfcore.Simulation.init_sphere sim;
+  Pfcore.Timestep.run sim ~steps:2;
+  let path = Filename.temp_file "pfgen" ".vtk" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Pfcore.Vtkout.write_phi sim path;
+      Golden.check ~name:"vtk_curvature_6x5.vtk" (read_file path))
+
+let test_vtk_structure () =
+  (* structural invariants that must hold for any block, independent of the
+     snapshot: ParaView needs the magic line, the dataset type, and one
+     value per point per scalar *)
+  let g = Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ()) in
+  let sim = Pfcore.Timestep.create ~dims:[| 4; 3 |] g in
+  Pfcore.Simulation.init_sphere sim;
+  let path = Filename.temp_file "pfgen" ".vtk" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Pfcore.Vtkout.write_phi sim path;
+      let text = read_file path in
+      let lines = String.split_on_char '\n' text in
+      Alcotest.(check string) "vtk magic" "# vtk DataFile Version 3.0" (List.hd lines);
+      Alcotest.(check bool) "structured points" true
+        (List.mem "DATASET STRUCTURED_POINTS" lines);
+      Alcotest.(check bool) "dimensions line" true (List.mem "DIMENSIONS 4 3 1" lines);
+      Alcotest.(check bool) "point count" true (List.mem "POINT_DATA 12" lines);
+      (* 2 phases + dominant_phase, 12 points each *)
+      let scalars =
+        List.length
+          (List.filter (fun l -> String.length l > 7 && String.sub l 0 7 = "SCALARS") lines)
+      in
+      Alcotest.(check int) "one SCALARS block per phase + dominant" 3 scalars)
+
+let suite =
+  [
+    Alcotest.test_case "vtk golden snapshot" `Quick test_vtk_golden;
+    Alcotest.test_case "vtk structure" `Quick test_vtk_structure;
+  ]
