@@ -29,10 +29,27 @@ let json_float v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.6g" v
 
+(* Provenance of a bench run: which commit, which compiler, how many
+   cores.  Best-effort — outside a checkout the rev is "unknown". *)
+let git_rev =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let line = try String.trim (input_line ic) with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
+
 let write_bench_json target =
   let path = Printf.sprintf "BENCH_%s.json" target in
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"target\": %S,\n  \"metrics\": {\n" target;
+  Printf.fprintf oc "{\n  \"target\": %S,\n" target;
+  Printf.fprintf oc
+    "  \"meta\": {\n    \"git_rev\": %S,\n    \"ocaml_version\": %S,\n    \"domains\": %d\n  },\n"
+    (Lazy.force git_rev) Sys.ocaml_version
+    (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"metrics\": {\n";
   let entries = List.rev !metrics in
   List.iteri
     (fun i (k, v) ->
@@ -563,6 +580,63 @@ let resilience () =
   metric "overhead_percent" overhead
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The zero-cost-when-disabled claim, measured: the instrumented
+   [Vm.Engine.run] with the sink off must cost the same sweep time as the
+   uninstrumented [run_plain] (its only extra work is one atomic load and
+   branch per sweep); the full tracing cost with the sink on is reported
+   alongside for context. *)
+let obs () =
+  section "Observability: instrumentation overhead (P1 phi-full, 16^3)";
+  let gen = Lazy.force gen_p1 in
+  let dims = [| 16; 16; 16 |] in
+  let block = bench_block gen ~dims in
+  let bound = Vm.Engine.bind gen.Pfcore.Genkernels.phi_full block in
+  let params = kernel_params gen in
+  let sweeps = 10 and reps = 5 in
+  (* best-of-reps sweep time, first call as warmup *)
+  let best f =
+    f 0;
+    let t = ref infinity in
+    for rep = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      for s = 1 to sweeps do
+        f ((rep * sweeps) + s)
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !t then t := dt
+    done;
+    !t /. float_of_int sweeps
+  in
+  Obs.Sink.disable ();
+  let t_plain = best (fun step -> Vm.Engine.run_plain ~step ~params bound) in
+  let t_disabled = best (fun step -> Vm.Engine.run ~step ~params bound) in
+  Obs.Metrics.reset ();
+  Obs.Sink.clear ();
+  Obs.Sink.enable ();
+  let t_enabled = best (fun step -> Vm.Engine.run ~step ~params bound) in
+  let events = List.length (Obs.Sink.events ()) in
+  Obs.Sink.disable ();
+  Obs.Sink.clear ();
+  Obs.Metrics.reset ();
+  let cells = float_of_int (Array.fold_left ( * ) 1 dims) in
+  let ns t = t *. 1e9 /. cells in
+  let pct t = (t /. t_plain -. 1.) *. 100. in
+  Fmt.pr "uninstrumented run_plain:   %8.1f ns/cell@." (ns t_plain);
+  Fmt.pr "instrumented, sink off:     %8.1f ns/cell (%+.2f%%)@." (ns t_disabled)
+    (pct t_disabled);
+  Fmt.pr "instrumented, sink on:      %8.1f ns/cell (%+.2f%%, %d events)@." (ns t_enabled)
+    (pct t_enabled) events;
+  metric "plain_ns_per_cell" (ns t_plain);
+  metric "disabled_ns_per_cell" (ns t_disabled);
+  metric "enabled_ns_per_cell" (ns t_enabled);
+  metric "disabled_overhead_percent" (pct t_disabled);
+  metric "enabled_overhead_percent" (pct t_enabled);
+  metric "trace_events" (float_of_int events)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let artifacts =
@@ -578,6 +652,7 @@ let () =
       ("ablations", ablations);
       ("resilience", resilience);
       ("micro", micro);
+      ("obs", obs);
     ]
   in
   (* each artifact prints its table and then dumps the metrics it

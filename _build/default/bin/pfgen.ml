@@ -226,9 +226,17 @@ let forest_phi_mismatches (g : Pfcore.Genkernels.t) a b =
   walk 0;
   !bad
 
-let simulate params size steps ranks split crash_at ckpt_every fault_seed =
+let simulate params size steps ranks split crash_at ckpt_every fault_seed trace metrics_out =
   let g = generate params false in
   let dim = params.Pfcore.Params.dim in
+  let observing = trace <> None || metrics_out <> None in
+  if observing then begin
+    (* arm the observability sink before any block is built so priming
+       exchanges and the first checkpoint are on the trace too *)
+    Obs.Metrics.reset ();
+    Obs.Sink.clear ();
+    Obs.Sink.enable ()
+  end;
   let t0 = Unix.gettimeofday () in
   let fractions =
     if ranks > 1 then begin
@@ -270,6 +278,20 @@ let simulate params size steps ranks split crash_at ckpt_every fault_seed =
     end
   in
   let dt = Unix.gettimeofday () -. t0 in
+  if observing then begin
+    Obs.Sink.disable ();
+    (match trace with
+    | Some path ->
+      let evs = Obs.Sink.events () in
+      Obs.Trace.save path evs;
+      Fmt.pr "wrote Chrome trace to %s (%d events)@." path (List.length evs)
+    | None -> ());
+    match metrics_out with
+    | Some path ->
+      Obs.Report.save path (Obs.Metrics.snapshot ());
+      Fmt.pr "wrote metrics report to %s@." path
+    | None -> ()
+  end;
   let cells = float_of_int (int_of_float (float_of_int size ** float_of_int dim)) in
   Fmt.pr "%d steps of %s on %d^%d (%d rank%s, %s phi kernel) in %.2f s = %.3f MLUP/s@." steps
     params.Pfcore.Params.name size dim ranks
@@ -293,11 +315,17 @@ let ckpt_every_arg =
 let fault_seed_arg =
   Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc:"Seed of the deterministic fault plan.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc:"Record spans (kernel sweeps, ghost exchanges, checkpoints) and write a Chrome trace-event JSON to $(docv): one lane per simulated rank, one track per OCaml domain. Open in about://tracing or Perfetto." ~docv:"FILE")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc:"Write the metrics report (per-kernel cells and timing histograms, network counters, checkpoint stats) to $(docv): JSON when the name ends in .json, aligned text otherwise." ~docv:"FILE")
+
 let simulate_cmd =
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Run a simulation with the generated kernels (optionally on simulated MPI ranks, optionally under fault injection with crash recovery).")
+    (Cmd.info "simulate" ~doc:"Run a simulation with the generated kernels (optionally on simulated MPI ranks, optionally under fault injection with crash recovery, optionally recording a trace and metrics).")
     Term.(const simulate $ model_arg $ size_arg $ steps_arg $ ranks_arg $ split_arg
-          $ crash_arg $ ckpt_every_arg $ fault_seed_arg)
+          $ crash_arg $ ckpt_every_arg $ fault_seed_arg $ trace_arg $ metrics_arg)
 
 (* ---- checkpoint / resume ---- *)
 
@@ -424,6 +452,41 @@ let resume_cmd =
     (Cmd.info "resume" ~doc:"Resume a simulation from a snapshot written by 'pfgen checkpoint' (topology and kernel variants are reconstructed from the snapshot; the model fingerprint is validated). With --verify, proves the restart is bitwise exact.")
     Term.(const resume $ model_arg $ snap_in_arg $ steps_arg $ verify_arg)
 
+(* ---- drift ---- *)
+
+let drift n sweeps check_flag json =
+  let r = Check.Drift.run ~n ~sweeps () in
+  Fmt.pr "%a" Check.Drift.pp r;
+  (match json with
+  | Some path -> write (Some path) (Check.Drift.to_json r)
+  | None -> ());
+  if check_flag then
+    match Check.Drift.verdict r with
+    | Ok () ->
+      Fmt.pr "drift check: OK (max deviation %.2f <= threshold %.2f)@."
+        (Check.Drift.max_deviation r) Check.Drift.threshold
+    | Error msg ->
+      Fmt.epr "drift check FAILED: %s@." msg;
+      exit 1
+
+let drift_size_arg =
+  Arg.(value & opt int 12 & info [ "size" ] ~doc:"Cubic block edge length for the measurement sweeps.")
+
+let drift_sweeps_arg =
+  Arg.(value & opt int 2 & info [ "sweeps" ] ~doc:"Timed sweeps per repetition (best of 3 repetitions is kept).")
+
+let drift_check_arg =
+  Arg.(value & flag & info [ "check" ] ~doc:"Exit nonzero when any measured/model ratio deviates beyond the documented threshold or the mu split/full ordering disagrees with the model.")
+
+let drift_json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~doc:"Also write the full report as JSON to $(docv)." ~docv:"FILE")
+
+let drift_cmd =
+  Cmd.v
+    (Cmd.info "drift"
+       ~doc:"ECM drift oracle: execute all eight P1/P2 kernel variants (phi/mu, full/split) in the VM, compare measured per-cell cost ratios against the ECM performance-model predictions, and report the deviation of each ratio pair. With --check, enforces the documented drift threshold and the mu split <= full ordering.")
+    Term.(const drift $ drift_size_arg $ drift_sweeps_arg $ drift_check_arg $ drift_json_arg)
+
 (* ---- check ---- *)
 
 let check samples seed quiet =
@@ -463,5 +526,6 @@ let () =
             simulate_cmd;
             checkpoint_cmd;
             resume_cmd;
+            drift_cmd;
             check_cmd;
           ]))

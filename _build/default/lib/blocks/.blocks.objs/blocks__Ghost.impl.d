@@ -1,1 +1,1 @@
-lib/blocks/ghost.ml: Array Mpisim Printexc Printf Vm
+lib/blocks/ghost.ml: Array Mpisim Obs Printexc Printf Vm

@@ -1,1 +1,1 @@
-lib/blocks/mpisim.ml: Array Faultplan Hashtbl List Option Printexc Printf Queue String
+lib/blocks/mpisim.ml: Array Faultplan Hashtbl List Obs Option Printexc Printf Queue String

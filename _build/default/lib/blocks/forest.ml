@@ -48,8 +48,8 @@ let create ?(variant_phi = Pfcore.Timestep.Full) ?(variant_mu = Pfcore.Timestep.
     Array.init ranks (fun r ->
         let c = rank_coords grid r in
         let offset = Array.mapi (fun d n -> c.(d) * n) block_dims in
-        Pfcore.Timestep.create ~variant_phi ~variant_mu ~dims:block_dims ~global_dims
-          ~offset gen)
+        Pfcore.Timestep.create ~variant_phi ~variant_mu ~rank:r ~dims:block_dims
+          ~global_dims ~offset gen)
   in
   { comm; grid; block_dims; global_dims; sims }
 
@@ -58,7 +58,7 @@ let create ?(variant_phi = Pfcore.Timestep.Full) ?(variant_mu = Pfcore.Timestep.
     delays and duplicates injected by a fault plan are healed in place; a
     dead neighbor surfaces as [Ghost.Rank_crashed] for the recovery driver
     to roll back.  Crashed ranks neither send nor receive. *)
-let exchange t (field : Fieldspec.t) =
+let exchange_slabs t (field : Fieldspec.t) =
   let dim = Array.length t.block_dims in
   for axis = 0 to dim - 1 do
     let tag_low = axis * 2 and tag_high = (axis * 2) + 1 in
@@ -87,6 +87,12 @@ let exchange t (field : Fieldspec.t) =
       t.sims
   done
 
+let exchange t (field : Fieldspec.t) =
+  (* the exchange involves all ranks, so its span lives on the process lane *)
+  Obs.Span.in_lane 0 (fun () ->
+      Obs.Span.with_ ~cat:"comm" ("exchange:" ^ field.Fieldspec.name) (fun () ->
+          exchange_slabs t field))
+
 let fields (t : t) = (Array.get t.sims 0).Pfcore.Timestep.gen.Pfcore.Genkernels.fields
 
 let has_mu t =
@@ -104,14 +110,16 @@ let step_count t = (Array.get t.sims 0).Pfcore.Timestep.step_count
     quiescence invariant: after a completed exchange no live message may
     remain in flight. *)
 let step t =
-  Mpisim.begin_step t.comm ~step:(step_count t);
-  let each f = Array.iteri (fun r sim -> if Mpisim.live t.comm r then f sim) t.sims in
-  each Pfcore.Timestep.phase_phi;
-  exchange t (fields t).Pfcore.Model.phi_dst;
-  each Pfcore.Timestep.phase_mu;
-  if has_mu t then exchange t (fields t).Pfcore.Model.mu_dst;
-  each Pfcore.Timestep.finish;
-  Mpisim.finalize t.comm
+  Obs.Span.with_ ~cat:"step" ~args:[ ("step", float_of_int (step_count t)) ] "step"
+    (fun () ->
+      Mpisim.begin_step t.comm ~step:(step_count t);
+      let each f = Array.iteri (fun r sim -> if Mpisim.live t.comm r then f sim) t.sims in
+      each Pfcore.Timestep.phase_phi;
+      exchange t (fields t).Pfcore.Model.phi_dst;
+      each Pfcore.Timestep.phase_mu;
+      if has_mu t then exchange t (fields t).Pfcore.Model.mu_dst;
+      each Pfcore.Timestep.finish;
+      Mpisim.finalize t.comm)
 
 let run ?(on_step = fun (_ : t) -> ()) t ~steps =
   for _ = 1 to steps do

@@ -103,7 +103,15 @@ let fetch ?(max_retries = 10) comm ~src ~dst ~tag =
   let rec attempt retries backoff =
     Mpisim.release_due comm;
     match Mpisim.recv_expected comm ~src ~dst ~tag with
-    | Some payload -> payload
+    | Some payload ->
+      (* a fetch that needed retries healed a fault in place *)
+      if retries > 0 then begin
+        Obs.Metrics.incr (Obs.Metrics.counter "net.faults_healed");
+        Obs.Span.instant ~cat:"comm"
+          ~args:[ ("retries", float_of_int retries) ]
+          (Printf.sprintf "healed:%d->%d tag %d" src dst tag)
+      end;
+      payload
     | None ->
       if retries >= max_retries then
         if Mpisim.is_crashed comm src then raise (Rank_crashed src)

@@ -41,6 +41,7 @@ type t = {
   mutable crash_consumed : bool;
   mutable bytes_sent : int;     (** cumulative payload volume *)
   mutable messages_sent : int;
+  mutable delivered : int;      (** messages handed to a receiver *)
   mutable retransmissions : int;
   mutable dropped : int;
   mutable duplicated : int;
@@ -48,6 +49,11 @@ type t = {
   mutable stale_discarded : int; (** duplicates/late arrivals discarded by seq *)
   mutable restarts : int;
 }
+
+(* Observability mirror: the substrate's own counters are authoritative
+   (and always on); the registry copies are what `pfgen simulate --metrics`
+   reports.  One gated branch per message when the sink is off. *)
+let obs_count name by = Obs.Metrics.add (Obs.Metrics.counter ("net." ^ name)) by
 
 let log_limit = 16
 
@@ -66,6 +72,7 @@ let create n_ranks =
     crash_consumed = false;
     bytes_sent = 0;
     messages_sent = 0;
+    delivered = 0;
     retransmissions = 0;
     dropped = 0;
     duplicated = 0;
@@ -132,26 +139,34 @@ let log_sent t key msg =
 let send t ~src ~dst ~tag data =
   if src < 0 || src >= t.n_ranks || dst < 0 || dst >= t.n_ranks then
     invalid_arg "Mpisim.send: rank out of range";
-  if is_crashed t src || is_crashed t dst then
+  if is_crashed t src || is_crashed t dst then begin
     (* a dead rank neither sends nor receives; nothing enters the network *)
-    t.dropped <- t.dropped + 1
+    t.dropped <- t.dropped + 1;
+    obs_count "dropped" 1
+  end
   else begin
     let key = (src, dst, tag) in
     let msg = { seq = next_send_seq t key; payload = Array.copy data } in
     log_sent t key msg;
     t.bytes_sent <- t.bytes_sent + (8 * Array.length data);
     t.messages_sent <- t.messages_sent + 1;
+    obs_count "messages_sent" 1;
+    obs_count "bytes_sent" (8 * Array.length data);
     match t.plan with
     | None -> Queue.push msg (queue t key)
     | Some plan -> (
       match Faultplan.decide plan ~src ~dst ~tag ~seq:msg.seq with
       | Faultplan.Deliver -> Queue.push msg (queue t key)
-      | Faultplan.Drop -> t.dropped <- t.dropped + 1
+      | Faultplan.Drop ->
+        t.dropped <- t.dropped + 1;
+        obs_count "dropped" 1
       | Faultplan.Delay ticks ->
         t.delayed_count <- t.delayed_count + 1;
+        obs_count "delayed" 1;
         add_delayed t (t.clock + ticks) key msg
       | Faultplan.Duplicate ->
         t.duplicated <- t.duplicated + 1;
+        obs_count "duplicated" 1;
         Queue.push msg (queue t key);
         Queue.push { msg with payload = msg.payload } (queue t key))
   end
@@ -167,6 +182,8 @@ let recv t ~src ~dst ~tag =
     let msg = Queue.pop q in
     let expected = expected_seq t ~src ~dst ~tag in
     Hashtbl.replace t.recv_seq key (max expected (msg.seq + 1));
+    t.delivered <- t.delivered + 1;
+    obs_count "delivered" 1;
     msg.payload
   | _ -> raise (No_message key)
 
@@ -186,6 +203,7 @@ let recv_expected t ~src ~dst ~tag =
         (List.of_seq (Queue.to_seq q))
     in
     t.stale_discarded <- t.stale_discarded + List.length stale;
+    obs_count "stale_discarded" (List.length stale);
     Queue.clear q;
     let hit = ref None in
     List.iter
@@ -193,7 +211,11 @@ let recv_expected t ~src ~dst ~tag =
         if !hit = None && m.seq = expected then hit := Some m.payload
         else Queue.push m q)
       fresh;
-    if !hit <> None then Hashtbl.replace t.recv_seq key (expected + 1);
+    if !hit <> None then begin
+      Hashtbl.replace t.recv_seq key (expected + 1);
+      t.delivered <- t.delivered + 1;
+      obs_count "delivered" 1
+    end;
     !hit
 
 (** Re-deliver sequence number [seq] of the channel from the sender's
@@ -211,6 +233,7 @@ let request_retransmit t ~src ~dst ~tag ~seq =
     with
     | Some msg ->
       t.retransmissions <- t.retransmissions + 1;
+      obs_count "retransmissions" 1;
       Queue.push msg (queue t key);
       `Sent
     | None -> `Lost
@@ -242,6 +265,7 @@ let finalize t =
       let live = Queue.fold (fun acc m -> if m.seq >= expected then acc + 1 else acc) 0 q in
       let stale = Queue.length q - live in
       t.stale_discarded <- t.stale_discarded + stale;
+      obs_count "stale_discarded" stale;
       Queue.clear q;
       if live > 0 then leftovers := (src, dst, tag, live) :: !leftovers)
     t.queues;
@@ -261,7 +285,8 @@ let restart t =
   t.delayed <- [];
   t.crashed <- None;
   t.crash_consumed <- true;
-  t.restarts <- t.restarts + 1
+  t.restarts <- t.restarts + 1;
+  obs_count "restarts" 1
 
 let () =
   Printexc.register_printer (function

@@ -1,0 +1,1 @@
+lib/check/drift.ml: Array Float Fmt List Obs Option Perfmodel Pfcore Printf String Vm

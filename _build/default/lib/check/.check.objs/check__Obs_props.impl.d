@@ -1,0 +1,1 @@
+lib/check/obs_props.ml: Array Fun Gen Hashtbl Int64 List Obs Option Printf QCheck String

@@ -431,3 +431,4 @@ let all ~count =
       snapshot_corruption ~count:(max 4 (count / 2));
       crash_restart_bitwise ~count:(max 2 (count / 8));
     ]
+  @ Obs_props.tests ~count

@@ -22,6 +22,7 @@ type t = {
   variant_phi : variant;
   variant_mu : variant;
   num_domains : int;
+  lane : int;  (** observability lane: 0 = local, 1 + r = simulated rank r *)
   exchange : Vm.Engine.block -> Fieldspec.t -> unit;
   phi_full : Vm.Engine.bound;
   phi_stag : Vm.Engine.bound;
@@ -40,8 +41,11 @@ let field_list (g : Genkernels.t) =
   let f = g.fields in
   [ f.phi_src; f.phi_dst; f.mu_src; f.mu_dst; f.phi_stag; f.mu_stag ]
 
-(** Build a simulation block and bind all kernels of the chosen variants. *)
-let create ?(variant_phi = Full) ?(variant_mu = Full) ?(num_domains = 1)
+(** Build a simulation block and bind all kernels of the chosen variants.
+    [rank] names the simulated rank this block belongs to (set by
+    [Blocks.Forest]); it only affects which observability lane the block's
+    spans land on. *)
+let create ?(variant_phi = Full) ?(variant_mu = Full) ?(num_domains = 1) ?rank
     ?(exchange = default_exchange) ?global_dims ?offset ~dims (gen : Genkernels.t) =
   let block = Vm.Engine.make_block ~ghost:2 ?global_dims ?offset ~dims (field_list gen) in
   let bind k = Vm.Engine.bind k block in
@@ -51,6 +55,7 @@ let create ?(variant_phi = Full) ?(variant_mu = Full) ?(num_domains = 1)
     variant_phi;
     variant_mu;
     num_domains;
+    lane = (match rank with None -> 0 | Some r -> Obs.Sink.rank_lane r);
     exchange;
     phi_full = bind gen.phi_full;
     phi_stag = bind gen.phi_split.stag;
@@ -80,23 +85,38 @@ let run_kernel t bound =
 
 let has_mu t = Params.n_mu t.gen.Genkernels.params > 0
 
+(* All per-block spans land on this block's lane so a forest run renders
+   one trace track per simulated rank. *)
+let in_lane t f = Obs.Span.in_lane t.lane f
+
+let exchange_span t (f : Fieldspec.t) =
+  in_lane t (fun () ->
+      Obs.Span.with_ ~cat:"comm" ("exchange:" ^ f.Fieldspec.name) (fun () ->
+          t.exchange t.block f))
+
 (** Phase 1: φ kernel(s) and the simplex projection (Algorithm 1, line 1). *)
 let phase_phi t =
-  (match t.variant_phi with
-  | Full -> run_kernel t t.phi_full
-  | Split ->
-    run_kernel t t.phi_stag;
-    run_kernel t t.phi_main);
-  run_kernel t t.projection
+  in_lane t (fun () ->
+      Obs.Span.with_ ~cat:"step" "phase:phi" (fun () ->
+          (match t.variant_phi with
+          | Full -> run_kernel t t.phi_full
+          | Split ->
+            run_kernel t t.phi_stag;
+            run_kernel t t.phi_main);
+          Obs.Span.with_ ~cat:"step" "projection" (fun () ->
+              run_kernel t t.projection)))
 
 (** Phase 2: μ kernel(s) (Algorithm 1, line 3); requires φ_dst ghosts. *)
 let phase_mu t =
   match (t.variant_mu, t.mu_full, t.mu_stag, t.mu_main) with
   | _, None, _, _ -> ()
-  | Full, Some mu, _, _ -> run_kernel t mu
+  | Full, Some mu, _, _ ->
+    in_lane t (fun () -> Obs.Span.with_ ~cat:"step" "phase:mu" (fun () -> run_kernel t mu))
   | Split, _, Some stag, Some main ->
-    run_kernel t stag;
-    run_kernel t main
+    in_lane t (fun () ->
+        Obs.Span.with_ ~cat:"step" "phase:mu" (fun () ->
+            run_kernel t stag;
+            run_kernel t main))
   | Split, _, _, _ -> assert false
 
 (** Phase 3: src ↔ dst swap and time advance (Algorithm 1, line 5). *)
@@ -111,11 +131,14 @@ let finish t =
 (** Advance one time step (Algorithm 1), single-block version. *)
 let step t =
   let f = t.gen.Genkernels.fields in
-  phase_phi t;
-  t.exchange t.block f.phi_dst;
-  phase_mu t;
-  if has_mu t then t.exchange t.block f.mu_dst;
-  finish t
+  in_lane t (fun () ->
+      Obs.Span.with_ ~cat:"step" ~args:[ ("step", float_of_int t.step_count) ] "step"
+        (fun () ->
+          phase_phi t;
+          exchange_span t f.phi_dst;
+          phase_mu t;
+          if has_mu t then exchange_span t f.mu_dst;
+          finish t))
 
 (** Advance [steps] steps; [on_step] fires after every completed step —
     the hook the resilience driver uses to checkpoint every N steps. *)

@@ -1,0 +1,1 @@
+lib/obs/clock.ml: Int64 Monotonic_clock

@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Array Float Fun Hashtbl List Mutex Sink String

@@ -1,0 +1,1 @@
+lib/obs/report.ml: Array Filename Float Fmt List Metrics Printf String

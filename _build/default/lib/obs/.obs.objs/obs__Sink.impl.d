@@ -1,0 +1,1 @@
+lib/obs/sink.ml: Atomic List Mutex

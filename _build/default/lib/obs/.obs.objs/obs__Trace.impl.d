@@ -1,0 +1,1 @@
+lib/obs/trace.ml: Buffer Char Float Int64 List Printf Sink String

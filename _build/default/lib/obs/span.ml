@@ -1,0 +1,41 @@
+(** Nested monotonic-clock spans and instant events.
+
+    A span brackets a region of work with a begin/end event pair on the
+    current lane ({!Sink.lane}); nesting falls out of emission order, which
+    is how the Chrome trace viewer reconstructs the flame graph per
+    (pid, tid) track.  [with_] is exception-safe: the end event is emitted
+    even when the body raises, so the recorded stream is always well
+    formed — balanced and properly nested per track (enforced by property
+    test in the [check] suite).
+
+    With the sink disabled every entry point degenerates to one branch. *)
+
+let enabled = Sink.enabled
+
+let emit phase ~name ~cat ~tid ~args =
+  Sink.record
+    { Sink.phase; name; cat; ts_ns = Clock.now_ns (); pid = Sink.lane (); tid; args }
+
+(** [with_ name f] runs [f] inside a span.  [tid] selects the slice track
+    within the current lane (0 = coordinating thread); [args] are attached
+    to the end event. *)
+let with_ ?(cat = "obs") ?(tid = 0) ?(args = []) name f =
+  if not (Sink.enabled ()) then f ()
+  else begin
+    emit Sink.B ~name ~cat ~tid ~args:[];
+    Fun.protect ~finally:(fun () -> emit Sink.E ~name ~cat ~tid ~args) f
+  end
+
+(** A zero-duration marker on the current lane. *)
+let instant ?(cat = "obs") ?(tid = 0) ?(args = []) name =
+  if Sink.enabled () then emit Sink.I ~name ~cat ~tid ~args
+
+(** Run [f] with the lane set to [lane], restoring the previous lane after
+    (exception-safe).  No-op indirection when disabled. *)
+let in_lane lane f =
+  if not (Sink.enabled ()) then f ()
+  else begin
+    let prev = Sink.lane () in
+    Sink.set_lane lane;
+    Fun.protect ~finally:(fun () -> Sink.set_lane prev) f
+  end

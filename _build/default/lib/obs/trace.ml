@@ -1,0 +1,90 @@
+(** Chrome trace-event JSON exporter.
+
+    Renders the recorded event stream in the Trace Event Format consumed by
+    [about://tracing] / Perfetto: a top-level ["traceEvents"] array of
+    objects with ["ph"], ["ts"] (microseconds), ["pid"], ["tid"] fields,
+    preceded by metadata events naming each lane — pid 0 is the local
+    process, pid [1 + r] is simulated rank [r]; tid 0 is the coordinating
+    thread, tid [i] the i-th OCaml domain of a sliced sweep.
+
+    [zero_times] replaces every timestamp with 0 while keeping the event
+    structure — the golden-test mode: a fixed run is then deterministic
+    modulo nothing, so the schema can be snapshot-compared. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let ph_of = function Sink.B -> "B" | Sink.E -> "E" | Sink.I -> "i"
+
+let args_json args =
+  String.concat ","
+    (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k (json_num v)) args)
+
+let lane_name pid = if pid = 0 then "local process" else Printf.sprintf "rank %d" (pid - 1)
+let slice_name tid = if tid = 0 then "main" else Printf.sprintf "domain %d" tid
+
+(* One metadata event per distinct pid (process_name) and per distinct
+   (pid, tid) (thread_name), so every track is labeled in the viewer. *)
+let metadata_events evs =
+  let pids = ref [] and tids = ref [] in
+  List.iter
+    (fun (e : Sink.event) ->
+      if not (List.mem e.Sink.pid !pids) then pids := e.Sink.pid :: !pids;
+      if not (List.mem (e.Sink.pid, e.Sink.tid) !tids) then
+        tids := (e.Sink.pid, e.Sink.tid) :: !tids)
+    evs;
+  let procs =
+    List.map
+      (fun pid ->
+        Printf.sprintf
+          "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+          pid (escape (lane_name pid)))
+      (List.sort compare !pids)
+  in
+  let threads =
+    List.map
+      (fun (pid, tid) ->
+        Printf.sprintf
+          "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+          pid tid (escape (slice_name tid)))
+      (List.sort compare !tids)
+  in
+  procs @ threads
+
+let event_json ~t0 ~zero_times (e : Sink.event) =
+  let ts =
+    if zero_times then "0"
+    else json_num (Int64.to_float (Int64.sub e.Sink.ts_ns t0) /. 1e3)
+  in
+  let scope = match e.Sink.phase with Sink.I -> ",\"s\":\"t\"" | _ -> "" in
+  let args = match e.Sink.args with [] -> "" | a -> Printf.sprintf ",\"args\":{%s}" (args_json a) in
+  Printf.sprintf "{\"ph\":\"%s\",\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d%s%s}"
+    (ph_of e.Sink.phase) (escape e.Sink.name) (escape e.Sink.cat) ts e.Sink.pid e.Sink.tid
+    scope args
+
+(** Render [evs] as a complete Chrome trace JSON document. *)
+let to_json ?(zero_times = false) (evs : Sink.event list) =
+  let t0 =
+    List.fold_left (fun acc (e : Sink.event) -> Int64.min acc e.Sink.ts_ns) Int64.max_int evs
+  in
+  let lines = metadata_events evs @ List.map (event_json ~t0 ~zero_times) evs in
+  "{\"traceEvents\":[\n" ^ String.concat ",\n" lines ^ "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let save path ?zero_times evs =
+  let oc = open_out path in
+  output_string oc (to_json ?zero_times evs);
+  close_out oc

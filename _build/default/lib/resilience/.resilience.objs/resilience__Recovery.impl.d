@@ -1,1 +1,1 @@
-lib/resilience/recovery.ml: Blocks Snapshot Store
+lib/resilience/recovery.ml: Blocks Obs Snapshot Store

@@ -1,1 +1,1 @@
-lib/resilience/snapshot.ml: Array Blocks Buffer Char Crc Fmt Int32 Int64 List Marshal Pfcore Printf String Symbolic Vm
+lib/resilience/snapshot.ml: Array Blocks Buffer Char Crc Fmt Int32 Int64 List Marshal Obs Pfcore Printf String Symbolic Vm

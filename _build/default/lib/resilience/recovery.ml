@@ -28,7 +28,12 @@ let run_protected ?(max_restarts = 8) ?(store = Store.create ()) ~every ~steps f
   let start = Blocks.Forest.step_count forest in
   let target = start + steps in
   let checkpoint () =
-    Store.put store (Snapshot.capture forest);
+    let (), dt_ns =
+      Obs.Clock.time_ns (fun () ->
+          Obs.Span.with_ ~cat:"ckpt" "checkpoint" (fun () ->
+              Store.put store (Snapshot.capture forest)))
+    in
+    Obs.Metrics.observe (Obs.Metrics.histogram "ckpt.checkpoint_ns") dt_ns;
     stats.checkpoints <- stats.checkpoints + 1
   in
   checkpoint ();
@@ -41,12 +46,14 @@ let run_protected ?(max_restarts = 8) ?(store = Store.create ()) ~every ~steps f
        with Blocks.Ghost.Rank_crashed _ ->
          if stats.restarts >= max_restarts then raise (Too_many_restarts stats.restarts);
          stats.restarts <- stats.restarts + 1;
-         Blocks.Mpisim.restart forest.Blocks.Forest.comm;
-         (match Store.latest store with
-         | None -> assert false (* the initial checkpoint always exists *)
-         | Some snap ->
-           Snapshot.restore snap forest;
-           stats.replayed_steps <- stats.replayed_steps + (cur - snap.Snapshot.step)));
+         Obs.Metrics.incr (Obs.Metrics.counter "ckpt.rollbacks");
+         Obs.Span.with_ ~cat:"ckpt" "rollback" (fun () ->
+             Blocks.Mpisim.restart forest.Blocks.Forest.comm;
+             match Store.latest store with
+             | None -> assert false (* the initial checkpoint always exists *)
+             | Some snap ->
+               Snapshot.restore snap forest;
+               stats.replayed_steps <- stats.replayed_steps + (cur - snap.Snapshot.step)));
       advance ()
     end
   in

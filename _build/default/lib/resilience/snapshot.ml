@@ -54,10 +54,25 @@ let capture_block (block : Vm.Engine.block) =
 
 let is_split = function Pfcore.Timestep.Split -> true | Pfcore.Timestep.Full -> false
 
+(** Raw field-state volume of a snapshot (padded buffers, 8 bytes per
+    element) — what an in-memory checkpoint holds resident. *)
+let state_bytes t =
+  Array.fold_left
+    (fun acc (b : block_state) ->
+      List.fold_left (fun acc f -> acc + (8 * Array.length f.data)) acc b.fields)
+    0 t.blocks
+
+let observe_capture t =
+  Obs.Metrics.incr (Obs.Metrics.counter "ckpt.captures");
+  Obs.Metrics.add (Obs.Metrics.counter "ckpt.state_bytes") (state_bytes t);
+  t
+
 (** Snapshot a whole block forest (lockstep: all ranks share the step
     index and time). *)
 let capture (f : Blocks.Forest.t) =
+  Obs.Span.with_ ~cat:"ckpt" "snapshot:capture" @@ fun () ->
   let sim0 = f.Blocks.Forest.sims.(0) in
+  observe_capture
   {
     fingerprint = fingerprint_of_params sim0.Pfcore.Timestep.gen.Pfcore.Genkernels.params;
     split_phi = is_split sim0.Pfcore.Timestep.variant_phi;
@@ -74,7 +89,9 @@ let capture (f : Blocks.Forest.t) =
 
 (** Snapshot a single-block simulation (a 1×…×1 forest). *)
 let capture_single (sim : Pfcore.Timestep.t) =
+  Obs.Span.with_ ~cat:"ckpt" "snapshot:capture" @@ fun () ->
   let block = sim.Pfcore.Timestep.block in
+  observe_capture
   {
     fingerprint = fingerprint_of_params sim.Pfcore.Timestep.gen.Pfcore.Genkernels.params;
     split_phi = is_split sim.Pfcore.Timestep.variant_phi;
@@ -188,13 +205,16 @@ let encode_payload t =
 (** Serialize to the versioned, checksummed wire format:
     magic · CRC-32(payload) · payload-length · payload. *)
 let encode t =
+  Obs.Span.with_ ~cat:"ckpt" "snapshot:encode" @@ fun () ->
   let payload = encode_payload t in
   let b = Buffer.create (String.length payload + 24) in
   Buffer.add_string b magic;
   Buffer.add_int32_le b (Int32.of_int (Crc.digest payload));
   Buffer.add_int32_le b (Int32.of_int (String.length payload));
   Buffer.add_string b payload;
-  Buffer.contents b
+  let s = Buffer.contents b in
+  Obs.Metrics.add (Obs.Metrics.counter "ckpt.encoded_bytes") (String.length s);
+  s
 
 type cursor = { s : string; mutable pos : int }
 

@@ -316,19 +316,28 @@ let make_ctx (b : bound) ~params ~step =
     global_dims = b.block.global_dims;
   }
 
-(** Execute one sweep of the kernel over the block.
+let sweep_range (b : bound) ax =
+  let n = b.block.dims.(ax) in
+  match b.kernel.Ir.Kernel.iteration with
+  | Ir.Kernel.CellSweep -> (0, n - 1)
+  | Ir.Kernel.StaggeredSweep axes -> if List.mem ax axes then (0, n) else (0, n - 1)
 
-    [num_domains > 1] slices the outermost loop across that many OCaml
-    domains (shared buffers; disjoint writes).  [params] must bind every
-    free symbol of the kernel. *)
-let run ?(num_domains = 1) ?(step = 0) ~params (b : bound) =
+(** Cells visited by one sweep (staggered sweeps cover one extra layer). *)
+let sweep_cells (b : bound) =
+  let total = ref 1 in
+  for ax = 0 to b.kernel.Ir.Kernel.dim - 1 do
+    let lo, hi = sweep_range b ax in
+    total := !total * (hi - lo + 1)
+  done;
+  !total
+
+(* The sweep skeleton, parameterized over [wrap], which brackets each
+   outer-loop slice ([slice] 0 is the coordinating domain, [i > 0] the i-th
+   spawned domain).  Instrumented and plain execution share this code so the
+   two paths cannot drift. *)
+let run_sliced ~wrap ~num_domains ~step ~params (b : bound) =
   let dim = b.kernel.Ir.Kernel.dim in
-  let range ax =
-    let n = b.block.dims.(ax) in
-    match b.kernel.Ir.Kernel.iteration with
-    | Ir.Kernel.CellSweep -> (0, n - 1)
-    | Ir.Kernel.StaggeredSweep axes -> if List.mem ax axes then (0, n) else (0, n - 1)
-  in
+  let range = sweep_range b in
   let order = b.lowered.Ir.Lower.loop_order in
   let lo0, hi0 = range order.(0) in
   let chunk lo hi =
@@ -336,7 +345,7 @@ let run ?(num_domains = 1) ?(step = 0) ~params (b : bound) =
     run_group b.preheader c;
     if dim = 3 then sweep_chunk_3d b c ~range lo hi else sweep_chunk_2d b c ~range lo hi
   in
-  if num_domains <= 1 || hi0 - lo0 < num_domains then chunk lo0 hi0
+  if num_domains <= 1 || hi0 - lo0 < num_domains then wrap 0 (fun () -> chunk lo0 hi0)
   else begin
     let n = num_domains in
     let total = hi0 - lo0 + 1 in
@@ -345,8 +354,47 @@ let run ?(num_domains = 1) ?(step = 0) ~params (b : bound) =
       List.init (n - 1) (fun i ->
           let lo = lo0 + ((i + 1) * per) in
           let hi = min hi0 (lo + per - 1) in
-          Domain.spawn (fun () -> if lo <= hi then chunk lo hi))
+          Domain.spawn (fun () -> wrap (i + 1) (fun () -> if lo <= hi then chunk lo hi)))
     in
-    chunk lo0 (min hi0 (lo0 + per - 1));
+    wrap 0 (fun () -> chunk lo0 (min hi0 (lo0 + per - 1)));
     List.iter Domain.join spawned
+  end
+
+(** The uninstrumented sweep: no observability entry points at all.  The
+    [obs] bench artifact measures [run] (sink disabled) against this to
+    certify the disabled-instrumentation overhead. *)
+let run_plain ?(num_domains = 1) ?(step = 0) ~params (b : bound) =
+  run_sliced ~wrap:(fun _ f -> f ()) ~num_domains ~step ~params b
+
+(** Execute one sweep of the kernel over the block.
+
+    [num_domains > 1] slices the outermost loop across that many OCaml
+    domains (shared buffers; disjoint writes).  [params] must bind every
+    free symbol of the kernel.
+
+    When the observability sink is enabled, the sweep is wrapped in a
+    [kernel:<name>] span, each spawned domain's slice gets its own
+    [slice:<name>] span on its domain track, and per-kernel cell/sweep
+    counters plus an ns-per-cell histogram are updated — all per sweep,
+    never per cell.  Disabled, the only cost is this one branch. *)
+let run ?(num_domains = 1) ?(step = 0) ~params (b : bound) =
+  if not (Obs.Sink.enabled ()) then run_plain ~num_domains ~step ~params b
+  else begin
+    let name = b.kernel.Ir.Kernel.name in
+    let cells = sweep_cells b in
+    let wrap slice f =
+      if slice = 0 then f ()  (* the coordinating slice lives inside the kernel span *)
+      else Obs.Span.with_ ~cat:"vm" ~tid:slice ("slice:" ^ name) f
+    in
+    let (), dt_ns =
+      Obs.Clock.time_ns (fun () ->
+          Obs.Span.with_ ~cat:"vm" ~args:[ ("cells", float_of_int cells) ]
+            ("kernel:" ^ name) (fun () ->
+              run_sliced ~wrap ~num_domains ~step ~params b))
+    in
+    Obs.Metrics.add (Obs.Metrics.counter ("vm." ^ name ^ ".cells")) cells;
+    Obs.Metrics.incr (Obs.Metrics.counter ("vm." ^ name ^ ".sweeps"));
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram ("vm." ^ name ^ ".ns_per_cell"))
+      (dt_ns /. float_of_int (max 1 cells))
   end

@@ -1,1 +1,1 @@
-test/test_main.ml: Alcotest Test_backend Test_blocks Test_check Test_cse Test_energy Test_expr Test_fd Test_gpu Test_kernels Test_perf Test_philox Test_resilience Test_vm Test_vtkout
+test/test_main.ml: Alcotest Test_backend Test_blocks Test_check Test_cse Test_energy Test_expr Test_fd Test_gpu Test_kernels Test_obs Test_perf Test_philox Test_resilience Test_vm Test_vtkout

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Array Astring Blocks Check Fun Golden Lazy List Obs Option Pfcore QCheck_alcotest

@@ -17,4 +17,5 @@ let () =
       ("gpumodel", Test_gpu.suite);
       ("backend", Test_backend.suite);
       ("check", Test_check.suite);
+      ("obs", Test_obs.suite);
     ]

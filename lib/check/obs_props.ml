@@ -1,0 +1,210 @@
+(** Property tests for the observability subsystem ([lib/obs]).
+
+    Three laws back the claims [Obs] makes in its interface docs:
+
+    + metric snapshot {!Obs.Metrics.merge} is associative and commutative
+      with {!Obs.Metrics.empty} as the unit — the property that makes
+      per-domain / per-run aggregation order-independent;
+    + counter snapshots are monotone under adds: a snapshot taken later
+      never shows a smaller count, and each add is reflected exactly;
+    + the span stream is always well formed — every (pid, tid) track is a
+      balanced, properly nested sequence of begin/end pairs with matching
+      names and non-decreasing timestamps, even when span bodies raise.
+
+    Numeric values in generated snapshots are integer-valued floats so that
+    the FP additions in histogram/gauge merging are exact and the algebraic
+    laws hold bitwise. *)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot generator                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A small shared pool (sorted, as Metrics.snapshot guarantees) so random
+   snapshots overlap on some keys and differ on others. *)
+let key_pool = [ "alpha"; "beta"; "delta"; "gamma" ]
+let histo_bounds = [| 1.; 4.; 16. |]
+
+let gen_histo =
+  QCheck.Gen.map2
+    (fun buckets sum ->
+      {
+        Obs.Metrics.hs_bounds = histo_bounds;
+        hs_buckets = buckets;
+        hs_count = Array.fold_left ( + ) 0 buckets;
+        hs_sum = float_of_int sum;
+      })
+    QCheck.Gen.(array_size (return (Array.length histo_bounds + 1)) (int_bound 20))
+    QCheck.Gen.(int_bound 1000)
+
+(* Each key is independently present or absent; the result stays sorted
+   because the pool is. *)
+let gen_entries gen_v =
+  QCheck.Gen.map
+    (fun opts -> List.filter_map Fun.id opts)
+    (QCheck.Gen.flatten_l
+       (List.map
+          (fun k -> QCheck.Gen.opt (QCheck.Gen.map (fun v -> (k, v)) gen_v))
+          key_pool))
+
+let gen_snapshot =
+  QCheck.Gen.map3
+    (fun cs gs hs -> { Obs.Metrics.s_counters = cs; s_gauges = gs; s_histograms = hs })
+    (gen_entries QCheck.Gen.(int_bound 1000))
+    (gen_entries QCheck.Gen.(map float_of_int (int_bound 1000)))
+    (gen_entries gen_histo)
+
+let print_snapshot (s : Obs.Metrics.snapshot) =
+  Printf.sprintf "{counters=[%s] gauges=[%s] histos=[%s]}"
+    (String.concat ";"
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) s.Obs.Metrics.s_counters))
+    (String.concat ";"
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v) s.Obs.Metrics.s_gauges))
+    (String.concat ";"
+       (List.map
+          (fun (k, (h : Obs.Metrics.histo_snapshot)) ->
+            Printf.sprintf "%s:n=%d,sum=%g" k h.Obs.Metrics.hs_count h.Obs.Metrics.hs_sum)
+          s.Obs.Metrics.s_histograms))
+
+let arb_snapshot = QCheck.make ~print:print_snapshot gen_snapshot
+
+let merge_laws ~count =
+  QCheck.Test.make ~count
+    ~name:"obs: snapshot merge is associative, commutative, unit = empty"
+    (QCheck.triple arb_snapshot arb_snapshot arb_snapshot)
+    (fun (a, b, c) ->
+      let open Obs.Metrics in
+      merge a (merge b c) = merge (merge a b) c
+      && merge a b = merge b a
+      && merge empty a = a
+      && merge a empty = a)
+
+(* ------------------------------------------------------------------ *)
+(* Counter monotonicity                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The registry is a process-global; the property serializes with the rest
+   of the system by resetting it around each sample (QCheck samples run
+   sequentially). *)
+let with_live_registry f =
+  Obs.Metrics.reset ();
+  let was = Obs.Sink.enabled () in
+  Obs.Sink.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      if not was then Obs.Sink.disable ();
+      Obs.Sink.clear ();
+      Obs.Metrics.reset ())
+    f
+
+let counter_monotone ~count =
+  QCheck.Test.make ~count ~name:"obs: counter snapshots are monotone under adds"
+    QCheck.(
+      list_of_size (Gen.int_bound 20)
+        (pair (oneofl [ "prop.a"; "prop.b"; "prop.c" ]) small_nat))
+    (fun ops ->
+      with_live_registry (fun () ->
+          let value name =
+            Option.value ~default:0
+              (Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) name)
+          in
+          List.for_all
+            (fun (name, by) ->
+              let before = value name in
+              Obs.Metrics.add (Obs.Metrics.counter name) by;
+              let after = value name in
+              after = before + by && after >= before)
+            ops))
+
+(* ------------------------------------------------------------------ *)
+(* Span-stream well-formedness                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A random instrumentation program: nested spans across lanes and slice
+   tracks, instants, and spans whose bodies raise after their children. *)
+type prog =
+  | Inst of string
+  | Lane of int * prog list
+  | Spanned of string * int * bool * prog list  (** name, tid, raise?, children *)
+
+exception Boom
+
+let rec exec p =
+  match p with
+  | Inst s -> Obs.Span.instant s
+  | Lane (l, ps) -> Obs.Span.in_lane l (fun () -> List.iter exec_guard ps)
+  | Spanned (name, tid, raises, ps) ->
+    Obs.Span.with_ ~tid name (fun () ->
+        List.iter exec_guard ps;
+        if raises then raise Boom)
+
+(* catch at each child boundary so a raising span doesn't abort its
+   siblings — the interesting case is the stream staying balanced anyway *)
+and exec_guard p = try exec p with Boom -> ()
+
+let gen_name = QCheck.Gen.oneofl [ "s1"; "s2"; "s3"; "sweep"; "exchange" ]
+
+let gen_prog =
+  QCheck.Gen.sized
+    (QCheck.Gen.fix (fun self n ->
+         if n <= 0 then QCheck.Gen.map (fun s -> Inst s) gen_name
+         else
+           let children = QCheck.Gen.list_size (QCheck.Gen.int_bound 3) (self (n / 2)) in
+           QCheck.Gen.frequency
+             [
+               (1, QCheck.Gen.map (fun s -> Inst s) gen_name);
+               (2, QCheck.Gen.map2 (fun l ps -> Lane (l, ps)) (QCheck.Gen.int_bound 3) children);
+               ( 4,
+                 QCheck.Gen.map2
+                   (fun (name, tid, raises) ps -> Spanned (name, tid, raises, ps))
+                   (QCheck.Gen.triple gen_name (QCheck.Gen.int_bound 2) QCheck.Gen.bool)
+                   children );
+             ]))
+
+let rec print_prog = function
+  | Inst s -> Printf.sprintf "i(%s)" s
+  | Lane (l, ps) ->
+    Printf.sprintf "lane%d[%s]" l (String.concat ";" (List.map print_prog ps))
+  | Spanned (name, tid, raises, ps) ->
+    Printf.sprintf "%s/t%d%s[%s]" name tid
+      (if raises then "!" else "")
+      (String.concat ";" (List.map print_prog ps))
+
+(* Stack discipline per (pid, tid) track: B pushes, E pops its own name,
+   instants are transparent, everything empty at the end; timestamps never
+   go backwards within a track. *)
+let stream_well_formed (evs : Obs.Sink.event list) =
+  let stacks : (int * int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let last_ts : (int * int, int64) Hashtbl.t = Hashtbl.create 8 in
+  let ok = ref true in
+  List.iter
+    (fun (e : Obs.Sink.event) ->
+      let key = (e.Obs.Sink.pid, e.Obs.Sink.tid) in
+      (match Hashtbl.find_opt last_ts key with
+      | Some t when Int64.compare e.Obs.Sink.ts_ns t < 0 -> ok := false
+      | _ -> ());
+      Hashtbl.replace last_ts key e.Obs.Sink.ts_ns;
+      let stack = Option.value ~default:[] (Hashtbl.find_opt stacks key) in
+      match e.Obs.Sink.phase with
+      | Obs.Sink.B -> Hashtbl.replace stacks key (e.Obs.Sink.name :: stack)
+      | Obs.Sink.E -> (
+        match stack with
+        | top :: rest when String.equal top e.Obs.Sink.name ->
+          Hashtbl.replace stacks key rest
+        | _ -> ok := false)
+      | Obs.Sink.I -> ())
+    evs;
+  Hashtbl.iter (fun _ s -> if s <> [] then ok := false) stacks;
+  !ok
+
+let span_nesting ~count =
+  QCheck.Test.make ~count
+    ~name:"obs: span stream is balanced and nested per track, even under exceptions"
+    (QCheck.make ~print:print_prog gen_prog)
+    (fun prog ->
+      with_live_registry (fun () ->
+          Obs.Sink.clear ();
+          exec_guard prog;
+          stream_well_formed (Obs.Sink.events ())))
+
+let tests ~count =
+  [ merge_laws ~count; counter_monotone ~count; span_nesting ~count ]

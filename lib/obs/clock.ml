@@ -1,0 +1,14 @@
+(** Monotonic time source.
+
+    CLOCK_MONOTONIC nanoseconds via bechamel's C stub — wall-clock-jump
+    free, which is what span durations and drift measurements need.  All of
+    [Obs] expresses time as int64 nanoseconds from this clock; exporters
+    convert at the edge. *)
+
+let now_ns () : int64 = Monotonic_clock.now ()
+
+(** Elapsed nanoseconds of [f ()], as a float for ratio arithmetic. *)
+let time_ns f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, Int64.to_float (Int64.sub (now_ns ()) t0))

@@ -1,0 +1,65 @@
+(** Metrics report exporters: aligned plain text and JSON.
+
+    Both render a frozen {!Metrics.snapshot}, so a report is a pure
+    function of the registry at one instant and per-domain snapshots can be
+    merged before rendering. *)
+
+let json_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let pp_histo ppf (h : Metrics.histo_snapshot) =
+  let mean = if h.Metrics.hs_count = 0 then 0. else h.Metrics.hs_sum /. float_of_int h.Metrics.hs_count in
+  Fmt.pf ppf "n=%d sum=%s mean=%s" h.Metrics.hs_count (json_num h.Metrics.hs_sum)
+    (json_num mean)
+
+(** Human-readable table: one line per metric, grouped by kind. *)
+let pp ppf (s : Metrics.snapshot) =
+  let section title = Fmt.pf ppf "%s@." title in
+  if s.Metrics.s_counters <> [] then begin
+    section "counters:";
+    List.iter (fun (k, v) -> Fmt.pf ppf "  %-40s %d@." k v) s.Metrics.s_counters
+  end;
+  if s.Metrics.s_gauges <> [] then begin
+    section "gauges:";
+    List.iter (fun (k, v) -> Fmt.pf ppf "  %-40s %s@." k (json_num v)) s.Metrics.s_gauges
+  end;
+  if s.Metrics.s_histograms <> [] then begin
+    section "histograms:";
+    List.iter (fun (k, h) -> Fmt.pf ppf "  %-40s %a@." k pp_histo h) s.Metrics.s_histograms
+  end
+
+let to_text s = Fmt.str "%a" pp s
+
+let histo_json (h : Metrics.histo_snapshot) =
+  Printf.sprintf "{\"count\":%d,\"sum\":%s,\"bounds\":[%s],\"buckets\":[%s]}"
+    h.Metrics.hs_count (json_num h.Metrics.hs_sum)
+    (String.concat "," (Array.to_list (Array.map json_num h.Metrics.hs_bounds)))
+    (String.concat "," (Array.to_list (Array.map string_of_int h.Metrics.hs_buckets)))
+
+let to_json (s : Metrics.snapshot) =
+  let obj fields = "{" ^ String.concat "," fields ^ "}" in
+  let counters =
+    List.map (fun (k, v) -> Printf.sprintf "%S:%d" k v) s.Metrics.s_counters
+  in
+  let gauges =
+    List.map (fun (k, v) -> Printf.sprintf "%S:%s" k (json_num v)) s.Metrics.s_gauges
+  in
+  let histos =
+    List.map (fun (k, h) -> Printf.sprintf "%S:%s" k (histo_json h)) s.Metrics.s_histograms
+  in
+  obj
+    [
+      Printf.sprintf "\"counters\":%s" (obj counters);
+      Printf.sprintf "\"gauges\":%s" (obj gauges);
+      Printf.sprintf "\"histograms\":%s" (obj histos);
+    ]
+  ^ "\n"
+
+(** Write the report to [path]: JSON when the name ends in [.json], text
+    otherwise. *)
+let save path s =
+  let oc = open_out path in
+  output_string oc
+    (if Filename.check_suffix path ".json" then to_json s else to_text s);
+  close_out oc
