@@ -637,6 +637,88 @@ let obs () =
   metric "trace_events" (float_of_int events)
 
 (* ------------------------------------------------------------------ *)
+(* Pool: serial vs pooled sweep through the persistent domain pool      *)
+(* ------------------------------------------------------------------ *)
+
+(* Gate failures are collected here and turned into a nonzero exit after
+   every BENCH_*.json has been written, so CI still gets the numbers. *)
+let gate_failures : string list ref = ref []
+
+(* The tentpole speedup gate: a pooled P1 phi sweep at 4 domains must beat
+   the serial sweep by >= 1.7x — but only on hardware that has the cores.
+   On smaller machines (CI containers are often 1-2 cores) the speedup is
+   recorded but the threshold is enforced only when PFGEN_POOL_GATE=1
+   forces it.  The zero-extra-spawns gate is unconditional: after warmup,
+   100%% of pooled sweeps must reuse the persistent pool. *)
+let pool_bench () =
+  section "Pool: serial vs pooled P1 phi-full sweep (persistent domain pool)";
+  let gen = Lazy.force gen_p1 in
+  let dims = [| 32; 32; 32 |] in
+  let domains = 4 in
+  let cores = Domain.recommended_domain_count () in
+  let block = bench_block gen ~dims in
+  let bound = Vm.Engine.bind gen.Pfcore.Genkernels.phi_full block in
+  let params = kernel_params gen in
+  let sweeps = 2 and reps = 3 in
+  let best f =
+    f 0;
+    let t = ref infinity in
+    for rep = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      for s = 1 to sweeps do
+        f ((rep * sweeps) + s)
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !t then t := dt
+    done;
+    !t /. float_of_int sweeps
+  in
+  (* tuner-informed tile for the pooled run (served from the Tune cache) *)
+  let plan = Pfcore.Timestep.autotune ~domains gen in
+  let tile = plan.Pfcore.Timestep.phi.Vm.Tune.tile in
+  Fmt.pr "%a@." Vm.Tune.pp_choice plan.Pfcore.Timestep.phi;
+  let t_serial = best (fun step -> Vm.Engine.run_plain ~step ~params bound) in
+  (* warm the pool once, then demand zero further spawns *)
+  Vm.Engine.run_plain ~num_domains:domains ?tile ~params bound;
+  let spawned0 = Vm.Pool.spawned_total () in
+  let t_pooled =
+    best (fun step -> Vm.Engine.run_plain ~num_domains:domains ?tile ~step ~params bound)
+  in
+  let extra_spawns = Vm.Pool.spawned_total () - spawned0 in
+  let cells = float_of_int (Array.fold_left ( * ) 1 dims) in
+  let ns t = t *. 1e9 /. cells in
+  let speedup = t_serial /. t_pooled in
+  let threshold = 1.7 in
+  let enforced = cores >= domains || Sys.getenv_opt "PFGEN_POOL_GATE" = Some "1" in
+  Fmt.pr "serial sweep:          %8.1f ns/cell@." (ns t_serial);
+  Fmt.pr "pooled sweep (x%d):     %8.1f ns/cell (tile %a)@." domains (ns t_pooled)
+    Vm.Tune.pp_tile tile;
+  Fmt.pr "speedup:               %8.2fx (gate >= %.1fx %s, %d core(s) available)@." speedup
+    threshold
+    (if enforced then "ENFORCED" else "recorded only")
+    cores;
+  Fmt.pr "extra spawns after warmup: %d (gate = 0, always enforced)@." extra_spawns;
+  metric "serial_ns_per_cell" (ns t_serial);
+  metric "pooled_ns_per_cell" (ns t_pooled);
+  metric "speedup" speedup;
+  metric "domains" (float_of_int domains);
+  metric "cores_available" (float_of_int cores);
+  metric "extra_spawns_after_warmup" (float_of_int extra_spawns);
+  metric "gate_threshold" threshold;
+  metric "gate_enforced" (if enforced then 1. else 0.);
+  metric "gate_passed"
+    (if (not enforced || speedup >= threshold) && extra_spawns = 0 then 1. else 0.);
+  if extra_spawns <> 0 then
+    gate_failures :=
+      Printf.sprintf "pool: %d extra domain spawn(s) after warmup (expected 0)" extra_spawns
+      :: !gate_failures;
+  if enforced && speedup < threshold then
+    gate_failures :=
+      Printf.sprintf "pool: speedup %.2fx below the %.1fx gate at %d domains" speedup
+        threshold domains
+      :: !gate_failures
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let artifacts =
@@ -653,6 +735,7 @@ let () =
       ("resilience", resilience);
       ("micro", micro);
       ("obs", obs);
+      ("pool", pool_bench);
     ]
   in
   (* each artifact prints its table and then dumps the metrics it
@@ -662,7 +745,7 @@ let () =
     f ();
     write_bench_json name
   in
-  match Array.to_list Sys.argv with
+  (match Array.to_list Sys.argv with
   | [ _ ] -> List.iter run_artifact artifacts
   | _ :: args ->
     List.iter
@@ -674,4 +757,9 @@ let () =
             (String.concat ", " (List.map fst artifacts));
           exit 1)
       args
-  | [] -> ()
+  | [] -> ());
+  (* gate failures exit nonzero only after every json has been written *)
+  if !gate_failures <> [] then begin
+    List.iter (fun msg -> Fmt.epr "GATE FAILED: %s@." msg) !gate_failures;
+    exit 1
+  end

@@ -190,14 +190,17 @@ let decomposition ~dim ~size ~ranks =
   let block_dims = Array.init dim (fun d -> if d = 0 then size / ranks else size) in
   (grid, block_dims)
 
-let build_forest g ~split ~grid ~block_dims =
-  let forest = Blocks.Forest.create ~variant_phi:(variant_of split) ~grid ~block_dims g in
+let build_forest ?num_domains ?tile ~split ~grid ~block_dims g =
+  let forest =
+    Blocks.Forest.create ~variant_phi:(variant_of split) ?num_domains ?tile ~grid
+      ~block_dims g
+  in
   Array.iter Pfcore.Simulation.init_lamellae forest.Blocks.Forest.sims;
   Blocks.Forest.prime forest;
   forest
 
-let build_single params g ~split ~dims =
-  let sim = Pfcore.Timestep.create ~variant_phi:(variant_of split) ~dims g in
+let build_single ?num_domains ?tile ~split ~dims params g =
+  let sim = Pfcore.Timestep.create ~variant_phi:(variant_of split) ?num_domains ?tile ~dims g in
   init_single params sim;
   Pfcore.Timestep.prime sim;
   sim
@@ -226,7 +229,8 @@ let forest_phi_mismatches (g : Pfcore.Genkernels.t) a b =
   walk 0;
   !bad
 
-let simulate params size steps ranks split crash_at ckpt_every fault_seed trace metrics_out =
+let simulate params size steps ranks split domains tile crash_at ckpt_every fault_seed trace
+    metrics_out =
   let g = generate params false in
   let dim = params.Pfcore.Params.dim in
   let observing = trace <> None || metrics_out <> None in
@@ -241,7 +245,7 @@ let simulate params size steps ranks split crash_at ckpt_every fault_seed trace 
   let fractions =
     if ranks > 1 then begin
       let grid, block_dims = decomposition ~dim ~size ~ranks in
-      let forest = build_forest g ~split ~grid ~block_dims in
+      let forest = build_forest ?num_domains:domains ?tile ~split ~grid ~block_dims g in
       (match crash_at with
       | None -> Blocks.Forest.run forest ~steps
       | Some k ->
@@ -260,7 +264,7 @@ let simulate params size steps ranks split crash_at ckpt_every fault_seed trace 
           stats.Resilience.Recovery.checkpoints stats.Resilience.Recovery.restarts
           stats.Resilience.Recovery.replayed_steps c.Blocks.Mpisim.retransmissions
           c.Blocks.Mpisim.dropped c.Blocks.Mpisim.duplicated c.Blocks.Mpisim.delayed_count;
-        let clean = build_forest g ~split ~grid ~block_dims in
+        let clean = build_forest ~split ~grid ~block_dims g in
         Blocks.Forest.run clean ~steps;
         let bad = forest_phi_mismatches g forest clean in
         if bad = 0 then Fmt.pr "verification: protected run = clean run (bitwise)@."
@@ -272,7 +276,7 @@ let simulate params size steps ranks split crash_at ckpt_every fault_seed trace 
     end
     else begin
       if crash_at <> None then failwith "--crash-at requires --ranks > 1";
-      let sim = build_single params g ~split ~dims:(Array.make dim size) in
+      let sim = build_single ?num_domains:domains ?tile ~split ~dims:(Array.make dim size) params g in
       Pfcore.Timestep.run sim ~steps;
       Pfcore.Simulation.phase_fractions sim
     end
@@ -301,6 +305,18 @@ let simulate params size steps ranks split crash_at ckpt_every fault_seed trace 
     (cells *. float_of_int steps /. dt /. 1e6);
   Fmt.pr "phase fractions: %a@." Fmt.(array ~sep:sp (fmt "%.4f")) fractions
 
+let tile_conv =
+  let parse s =
+    try Ok (Vm.Schedule.shape_of_string s) with Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Vm.Schedule.pp_shape)
+
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~doc:"Run every kernel sweep on $(docv) OCaml domains through the persistent pool (default: \\$PFGEN_DOMAINS or 1; pooled results are bitwise identical to serial)." ~docv:"N")
+
+let tile_arg =
+  Arg.(value & opt (some tile_conv) None & info [ "tile" ] ~doc:"Cache-blocking tile shape per loop depth, e.g. 8x4 (2D) or 16x8x* (3D; * or 0 = full extent at that depth). Default: one slab per domain along the outer loop." ~docv:"AxB")
+
 let size_arg = Arg.(value & opt int 32 & info [ "size" ] ~doc:"Domain edge length in cells.")
 let steps_arg = Arg.(value & opt int 50 & info [ "steps" ] ~doc:"Time steps to run.")
 let ranks_arg = Arg.(value & opt int 1 & info [ "ranks" ] ~doc:"Simulated MPI ranks (1D decomposition).")
@@ -325,7 +341,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a simulation with the generated kernels (optionally on simulated MPI ranks, optionally under fault injection with crash recovery, optionally recording a trace and metrics).")
     Term.(const simulate $ model_arg $ size_arg $ steps_arg $ ranks_arg $ split_arg
-          $ crash_arg $ ckpt_every_arg $ fault_seed_arg $ trace_arg $ metrics_arg)
+          $ domains_arg $ tile_arg $ crash_arg $ ckpt_every_arg $ fault_seed_arg
+          $ trace_arg $ metrics_arg)
 
 (* ---- checkpoint / resume ---- *)
 
@@ -335,12 +352,12 @@ let checkpoint params size steps ranks split output =
   let snap =
     if ranks > 1 then begin
       let grid, block_dims = decomposition ~dim ~size ~ranks in
-      let forest = build_forest g ~split ~grid ~block_dims in
+      let forest = build_forest ~split ~grid ~block_dims g in
       Blocks.Forest.run forest ~steps;
       Resilience.Snapshot.capture forest
     end
     else begin
-      let sim = build_single params g ~split ~dims:(Array.make dim size) in
+      let sim = build_single ~split ~dims:(Array.make dim size) params g in
       Pfcore.Timestep.run sim ~steps;
       Resilience.Snapshot.capture_single sim
     end
@@ -390,8 +407,8 @@ let resume params input steps verify =
         (* rerun from the same initial conditions without interruption and
            demand bitwise agreement *)
         let clean =
-          build_forest g ~split ~grid:snap.Resilience.Snapshot.grid
-            ~block_dims:snap.Resilience.Snapshot.block_dims
+          build_forest ~split ~grid:snap.Resilience.Snapshot.grid
+            ~block_dims:snap.Resilience.Snapshot.block_dims g
         in
         Blocks.Forest.run clean ~steps:(snap.Resilience.Snapshot.step + steps);
         let bad = forest_phi_mismatches g forest clean in
@@ -412,7 +429,7 @@ let resume params input steps verify =
       Resilience.Snapshot.restore_single snap sim;
       Pfcore.Timestep.run sim ~steps;
       if verify then begin
-        let clean = build_single params g ~split ~dims:snap.Resilience.Snapshot.block_dims in
+        let clean = build_single ~split ~dims:snap.Resilience.Snapshot.block_dims params g in
         Pfcore.Timestep.run clean ~steps:(snap.Resilience.Snapshot.step + steps);
         let phi = g.Pfcore.Genkernels.fields.Pfcore.Model.phi_src in
         let a = Vm.Engine.buffer sim.Pfcore.Timestep.block phi in
@@ -487,6 +504,125 @@ let drift_cmd =
        ~doc:"ECM drift oracle: execute all eight P1/P2 kernel variants (phi/mu, full/split) in the VM, compare measured per-cell cost ratios against the ECM performance-model predictions, and report the deviation of each ratio pair. With --check, enforces the documented drift threshold and the mu split <= full ordering.")
     Term.(const drift $ drift_size_arg $ drift_sweeps_arg $ drift_check_arg $ drift_json_arg)
 
+(* ---- tune ---- *)
+
+let choice_json (c : Vm.Tune.choice) =
+  let assoc l =
+    String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %.6g" k v) l)
+  in
+  Printf.sprintf
+    "{\n\
+    \      \"variant\": %S,\n\
+    \      \"tile\": %S,\n\
+    \      \"fingerprint\": \"%08x\",\n\
+    \      \"predicted_cy_per_lup\": { %s },\n\
+    \      \"measured_ns_per_lup\": { %s },\n\
+    \      \"cachesim_bytes_per_lup\": %.6g\n\
+    \    }"
+    c.Vm.Tune.variant_label
+    (Fmt.str "%a" Vm.Tune.pp_tile c.Vm.Tune.tile)
+    c.Vm.Tune.fingerprint (assoc c.Vm.Tune.predicted_cy) (assoc c.Vm.Tune.measured_ns)
+    c.Vm.Tune.cachesim_bytes_per_lup
+
+let tune_json (params : Pfcore.Params.t) (plan : Pfcore.Timestep.plan) =
+  let families =
+    ("phi", plan.Pfcore.Timestep.phi)
+    :: (match plan.Pfcore.Timestep.mu with Some m -> [ ("mu", m) ] | None -> [])
+  in
+  Printf.sprintf
+    "{\n  \"model\": %S,\n  \"domains\": %d,\n  \"tile\": %S,\n  \"families\": {\n%s\n  }\n}\n"
+    params.Pfcore.Params.name plan.Pfcore.Timestep.plan_domains
+    (Fmt.str "%a" Vm.Tune.pp_tile plan.Pfcore.Timestep.plan_tile)
+    (String.concat ",\n"
+       (List.map (fun (k, c) -> Printf.sprintf "    %S: %s" k (choice_json c)) families))
+
+let tune params domains probe_n check_flag json =
+  let g = generate params false in
+  let domains =
+    match domains with Some d -> d | None -> Vm.Pool.default_domains ()
+  in
+  let plan = Pfcore.Timestep.autotune ~domains ~probe_n g in
+  Fmt.pr "model %s, tuned for %d domain(s), %d^%d probe block@." params.Pfcore.Params.name
+    domains probe_n params.Pfcore.Params.dim;
+  Fmt.pr "@.phi family:@.%a@." Vm.Tune.pp_choice plan.Pfcore.Timestep.phi;
+  (match plan.Pfcore.Timestep.mu with
+  | Some m -> Fmt.pr "mu family:@.%a@." Vm.Tune.pp_choice m
+  | None -> ());
+  (match json with Some path -> write (Some path) (tune_json params plan) | None -> ());
+  if check_flag then begin
+    (* 1. the decision cache: re-tuning the same model must not re-probe *)
+    let hits0, misses0 = Vm.Tune.cache_stats () in
+    let plan' = Pfcore.Timestep.autotune ~domains ~probe_n g in
+    let hits1, misses1 = Vm.Tune.cache_stats () in
+    if misses1 <> misses0 || hits1 <= hits0 then begin
+      Fmt.epr "tune check FAILED: repeated autotune missed the decision cache@.";
+      exit 1
+    end;
+    if plan'.Pfcore.Timestep.phi.Vm.Tune.fingerprint
+       <> plan.Pfcore.Timestep.phi.Vm.Tune.fingerprint
+    then begin
+      Fmt.epr "tune check FAILED: cached decision differs from the original@.";
+      exit 1
+    end;
+    (* 2. the plan's pooled tiled execution is bitwise identical to a serial
+       run of the same kernel variants *)
+    let dims = Array.make params.Pfcore.Params.dim 8 in
+    let run mk =
+      let sim = mk () in
+      Pfcore.Simulation.init_smooth sim;
+      Pfcore.Timestep.run sim ~steps:2;
+      sim
+    in
+    let serial =
+      run (fun () ->
+          Pfcore.Timestep.create
+            ~variant_phi:(Pfcore.Timestep.variant_of_choice plan.Pfcore.Timestep.phi)
+            ?variant_mu:
+              (Option.map Pfcore.Timestep.variant_of_choice plan.Pfcore.Timestep.mu)
+            ~num_domains:1 ~dims g)
+    in
+    let tuned = run (fun () -> Pfcore.Timestep.create_tuned ~plan ~dims g) in
+    let bad = ref 0 in
+    List.iter2
+      (fun (_, (x : Vm.Buffer.t)) (_, (y : Vm.Buffer.t)) ->
+        Array.iteri
+          (fun i v ->
+            if
+              not
+                (Int64.equal (Int64.bits_of_float v)
+                   (Int64.bits_of_float y.Vm.Buffer.data.(i)))
+            then incr bad)
+          x.Vm.Buffer.data)
+      serial.Pfcore.Timestep.block.Vm.Engine.buffers
+      tuned.Pfcore.Timestep.block.Vm.Engine.buffers;
+    if !bad <> 0 then begin
+      Fmt.epr "tune check FAILED: tuned run diverges from serial in %d element(s)@." !bad;
+      exit 1
+    end;
+    Fmt.pr
+      "tune check: OK (decision cached; tuned plan at %d domain(s) = serial, bitwise)@."
+      plan.Pfcore.Timestep.plan_domains
+  end
+
+let tune_domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~doc:"Pool width to tune for (default: \\$PFGEN_DOMAINS or 1); part of the cache fingerprint." ~docv:"N")
+
+let probe_size_arg =
+  Arg.(value & opt int 10 & info [ "probe-size" ] ~doc:"Edge length of the cubic probe block used for measured probes.")
+
+let tune_check_arg =
+  Arg.(value & flag & info [ "check" ] ~doc:"Verify the tuner: a repeated run must hit the decision cache, and the tuned pooled plan must reproduce a serial run bitwise. Exits nonzero on failure.")
+
+let tune_json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~doc:"Also write the full decision report (variants, tiles, ECM predictions, measured probes, cache-simulator traffic) as JSON to $(docv)." ~docv:"FILE")
+
+let tune_cmd =
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Autotune kernel execution for this machine: choose full vs. split per kernel family and a cache-blocking tile shape by combining ECM model predictions, cache-simulator traffic and short measured probes. Decisions are cached per model fingerprint and reused by 'pfgen simulate' via Timestep.create_tuned.")
+    Term.(const tune $ model_arg $ tune_domains_arg $ probe_size_arg $ tune_check_arg
+          $ tune_json_arg)
+
 (* ---- check ---- *)
 
 let check samples seed quiet =
@@ -527,5 +663,6 @@ let () =
             checkpoint_cmd;
             resume_cmd;
             drift_cmd;
+            tune_cmd;
             check_cmd;
           ]))

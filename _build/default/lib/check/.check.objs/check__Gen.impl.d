@@ -1,1 +1,1 @@
-lib/check/gen.ml: Cse Expr Field Fieldspec Float Fmt List Printf QCheck Symbolic
+lib/check/gen.ml: Array Cse Expr Field Fieldspec Float Fmt List Printf QCheck String Symbolic

@@ -397,3 +397,51 @@ let arb_resilience : resilience_sample QCheck.arbitrary =
          ckpt_every;
          rsteps = crash_step + tail;
        })
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 7: pooled tiled execution vs. serial                         *)
+(* ------------------------------------------------------------------ *)
+
+type pool_sample = {
+  pl_p2 : bool;         (** false = P1, true = P2 *)
+  pl_variant : int;     (** index into [Drift.variant_kernels]: 0..3 *)
+  pl_n : int;           (** cubic grid edge *)
+  pl_tile : int array;  (** loop-depth tile shape; 0 = full extent *)
+  pl_domains : int;     (** pool width: 1, 2 or 4 *)
+}
+
+let pp_pool ppf (s : pool_sample) =
+  Fmt.pf ppf "%s variant %d, %d^3 grid, tile %s, %d domain(s)"
+    (if s.pl_p2 then "P2" else "P1")
+    s.pl_variant s.pl_n
+    (String.concat "x" (Array.to_list (Array.map string_of_int s.pl_tile)))
+    s.pl_domains
+
+(* Shrink toward the smallest failing grid first, then toward trivial
+   tiles and fewer lanes. *)
+let shrink_pool (s : pool_sample) yield =
+  if s.pl_n > 4 then yield { s with pl_n = s.pl_n - 1 };
+  Array.iteri
+    (fun d x ->
+      if x > 0 then begin
+        let t = Array.copy s.pl_tile in
+        t.(d) <- 0;
+        yield { s with pl_tile = t }
+      end)
+    s.pl_tile;
+  if s.pl_domains = 4 then yield { s with pl_domains = 2 };
+  if s.pl_domains = 2 then yield { s with pl_domains = 1 };
+  if s.pl_variant > 0 then yield { s with pl_variant = 0 }
+
+let arb_pool : pool_sample QCheck.arbitrary =
+  QCheck.make
+    ~print:(Fmt.str "%a" pp_pool)
+    ~shrink:shrink_pool
+    (let* pl_p2 = G.bool in
+     let* pl_variant = G.int_bound 3 in
+     let* pl_n = G.int_range 4 8 in
+     (* tile extents may exceed the grid or block the innermost depth:
+        determinism must hold for every shape, not just the fast ones *)
+     let* pl_tile = G.array_size (G.return 3) (G.oneofl [ 0; 1; 2; 3; 5 ]) in
+     let* pl_domains = G.oneofl [ 1; 2; 4 ] in
+     G.return { pl_p2; pl_variant; pl_n; pl_tile; pl_domains })

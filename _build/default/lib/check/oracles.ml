@@ -415,6 +415,46 @@ let crash_restart_bitwise ~count =
         !ok)
 
 (* ------------------------------------------------------------------ *)
+(* Oracle 7: pooled tiled execution vs. serial (bitwise)               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_p1_pool = lazy (Pfcore.Genkernels.generate (Pfcore.Params.p1 ()))
+let gen_p2_pool = lazy (Pfcore.Genkernels.generate (Pfcore.Params.p2 ()))
+
+(* One sweep of one generated kernel family (all 8 P1/P2 variants are
+   reachable through [Drift.variant_kernels]) over a smooth-initialized
+   block, with the given pool width and tile shape. *)
+let pooled_run (s : Gen.pool_sample) ~num_domains ~tile =
+  let g = Lazy.force (if s.Gen.pl_p2 then gen_p2_pool else gen_p1_pool) in
+  let dims = Array.make g.Pfcore.Genkernels.params.Pfcore.Params.dim s.Gen.pl_n in
+  let block = Drift.drift_block g ~dims in
+  let params = Drift.runtime_params g in
+  let _, kernels = List.nth (Drift.variant_kernels g) s.Gen.pl_variant in
+  List.iter
+    (fun k -> Vm.Engine.run ~num_domains ?tile ~step:1 ~params (Vm.Engine.bind k block))
+    kernels;
+  block
+
+(* The determinism battery's core claim: any tile decomposition executed on
+   any number of pool lanes writes bitwise exactly what the serial
+   single-tile sweep writes — over random grids, tile shapes (including
+   degenerate ones larger than the sweep) and PFGEN_DOMAINS in {1,2,4}. *)
+let pooled_vs_serial ~count =
+  QCheck.Test.make ~name:"oracle7: pooled tiled sweep = serial sweep (bitwise)" ~count
+    Gen.arb_pool
+    (fun s ->
+      let serial = pooled_run s ~num_domains:1 ~tile:None in
+      let pooled = pooled_run s ~num_domains:s.Gen.pl_domains ~tile:(Some s.Gen.pl_tile) in
+      List.for_all2
+        (fun (_, (a : Vm.Buffer.t)) (_, (b : Vm.Buffer.t)) ->
+          let ok = ref true in
+          Array.iteri
+            (fun i x -> if not (bits_equal x b.Vm.Buffer.data.(i)) then ok := false)
+            a.Vm.Buffer.data;
+          !ok)
+        serial.Vm.Engine.buffers pooled.Vm.Engine.buffers)
+
+(* ------------------------------------------------------------------ *)
 (* The harness's test list                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -430,5 +470,6 @@ let all ~count =
       snapshot_roundtrip ~count:(max 2 (count / 4));
       snapshot_corruption ~count:(max 4 (count / 2));
       crash_restart_bitwise ~count:(max 2 (count / 8));
+      pooled_vs_serial ~count:(max 3 (count / 3));
     ]
   @ Obs_props.tests ~count

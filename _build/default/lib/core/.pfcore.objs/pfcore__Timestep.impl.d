@@ -1,1 +1,1 @@
-lib/core/timestep.ml: Array Fieldspec Genkernels Obs Option Params Symbolic Vm
+lib/core/timestep.ml: Array Fieldspec Genkernels List Obs Option Params Symbolic Vm

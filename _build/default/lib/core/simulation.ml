@@ -79,6 +79,15 @@ let init_seeds ~seeds ~radius (t : Timestep.t) =
   fill_mu t 0.;
   Timestep.prime t
 
+(** Smooth near-simplex-center fields in every buffer (the probe pattern
+    the autotuner and the drift oracle use): exercises the kernels' full
+    arithmetic with no degenerate denominators, and is deterministic, so
+    two identically-built sims agree bitwise — the init of choice for the
+    pooled-vs-serial equality checks. *)
+let init_smooth (t : Timestep.t) =
+  Timestep.smooth_fill t.Timestep.block t.Timestep.gen;
+  Timestep.prime t
+
 (* ------------------------------------------------------------------ *)
 (* Observables                                                         *)
 (* ------------------------------------------------------------------ *)

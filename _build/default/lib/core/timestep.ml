@@ -22,6 +22,7 @@ type t = {
   variant_phi : variant;
   variant_mu : variant;
   num_domains : int;
+  tile : int array option;  (** loop-depth tile shape for every kernel sweep *)
   lane : int;  (** observability lane: 0 = local, 1 + r = simulated rank r *)
   exchange : Vm.Engine.block -> Fieldspec.t -> unit;
   phi_full : Vm.Engine.bound;
@@ -44,8 +45,11 @@ let field_list (g : Genkernels.t) =
 (** Build a simulation block and bind all kernels of the chosen variants.
     [rank] names the simulated rank this block belongs to (set by
     [Blocks.Forest]); it only affects which observability lane the block's
-    spans land on. *)
-let create ?(variant_phi = Full) ?(variant_mu = Full) ?(num_domains = 1) ?rank
+    spans land on.  [num_domains] defaults to the pool width requested by
+    [PFGEN_DOMAINS]; [tile] fixes the cache-blocking shape of every kernel
+    sweep (loop-depth indexed, [0] = full extent at that depth). *)
+let create ?(variant_phi = Full) ?(variant_mu = Full)
+    ?(num_domains = Vm.Pool.default_domains ()) ?tile ?rank
     ?(exchange = default_exchange) ?global_dims ?offset ~dims (gen : Genkernels.t) =
   let block = Vm.Engine.make_block ~ghost:2 ?global_dims ?offset ~dims (field_list gen) in
   let bind k = Vm.Engine.bind k block in
@@ -55,6 +59,7 @@ let create ?(variant_phi = Full) ?(variant_mu = Full) ?(num_domains = 1) ?rank
     variant_phi;
     variant_mu;
     num_domains;
+    tile;
     lane = (match rank with None -> 0 | Some r -> Obs.Sink.rank_lane r);
     exchange;
     phi_full = bind gen.phi_full;
@@ -80,7 +85,7 @@ let prime t =
     t.exchange t.block t.gen.Genkernels.fields.mu_src
 
 let run_kernel t bound =
-  Vm.Engine.run ~num_domains:t.num_domains ~step:t.step_count
+  Vm.Engine.run ~num_domains:t.num_domains ?tile:t.tile ~step:t.step_count
     ~params:(runtime_params t) bound
 
 let has_mu t = Params.n_mu t.gen.Genkernels.params > 0
@@ -157,3 +162,86 @@ let restore t ~step ~time =
 
 (** Cells updated per full time step (for MLUP/s reporting). *)
 let lups_per_step t = Array.fold_left ( * ) 1 t.block.Vm.Engine.dims
+
+(* ------------------------------------------------------------------ *)
+(* Autotuning                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Smooth phase fields near the simplex center (the bench/drift pattern):
+   no kernel hits a degenerate denominator, so probe sweeps exercise the
+   full arithmetic. *)
+let smooth_fill (block : Vm.Engine.block) (gen : Genkernels.t) =
+  let n = float_of_int gen.Genkernels.params.Params.n_phases in
+  List.iter
+    (fun (_, buf) ->
+      Vm.Buffer.init buf (fun c comp ->
+          (1. /. n) +. (0.01 *. sin (float_of_int ((c.(0) * 3) + (comp * 7)))));
+      Vm.Buffer.periodic buf)
+    block.Vm.Engine.buffers
+
+let probe_params (gen : Genkernels.t) =
+  let p = gen.Genkernels.params in
+  ("t", 0.) :: ("dx", p.Params.dx) :: ("dt", p.Params.dt) :: gen.Genkernels.bindings
+
+let phi_candidates (gen : Genkernels.t) =
+  [
+    ("full", [ gen.Genkernels.phi_full ]);
+    ( "split",
+      [ gen.Genkernels.phi_split.Genkernels.stag; gen.Genkernels.phi_split.Genkernels.main ]
+    );
+  ]
+
+let mu_candidates (gen : Genkernels.t) =
+  match (gen.Genkernels.mu_full, gen.Genkernels.mu_split) with
+  | Some full, Some pair ->
+    Some
+      [
+        ("full", [ full ]);
+        ("split", [ pair.Genkernels.stag; pair.Genkernels.main ]);
+      ]
+  | _ -> None
+
+(** A tuning plan: one variant decision per kernel family plus the tile
+    shape and pool width every sweep of the simulation will use.  The tile
+    follows the most expensive family (μ when the model has one — Table 1),
+    since a single shape drives all sweeps of a step. *)
+type plan = {
+  phi : Vm.Tune.choice;
+  mu : Vm.Tune.choice option;
+  plan_domains : int;
+  plan_tile : int array option;
+}
+
+(** Tune both kernel families of [gen] on a [probe_n]^dim block.  Decisions
+    are served from the [Vm.Tune] fingerprint cache, so repeated calls
+    (every block of a forest, every bench repetition) probe only once. *)
+let autotune ?machine ?(domains = Vm.Pool.default_domains ()) ?(probe_n = 10)
+    (gen : Genkernels.t) =
+  let dim = gen.Genkernels.params.Params.dim in
+  let dims = Array.make dim probe_n in
+  let make_block () =
+    let block = Vm.Engine.make_block ~ghost:2 ~dims (field_list gen) in
+    smooth_fill block gen;
+    block
+  in
+  let params = probe_params gen in
+  let decide = Vm.Tune.decide ?machine ~domains ~dims ~make_block ~params in
+  let phi = decide (phi_candidates gen) in
+  let mu = Option.map decide (mu_candidates gen) in
+  {
+    phi;
+    mu;
+    plan_domains = domains;
+    plan_tile = (match mu with Some m -> m.Vm.Tune.tile | None -> phi.Vm.Tune.tile);
+  }
+
+let variant_of_choice (c : Vm.Tune.choice) = if c.Vm.Tune.variant_label = "split" then Split else Full
+
+(** [create] with every knob taken from a tuning [plan] (freshly computed
+    from the [Vm.Tune] cache when not supplied). *)
+let create_tuned ?plan ?rank ?exchange ?global_dims ?offset ~dims (gen : Genkernels.t) =
+  let plan = match plan with Some p -> p | None -> autotune gen in
+  create ~variant_phi:(variant_of_choice plan.phi)
+    ?variant_mu:(Option.map variant_of_choice plan.mu)
+    ~num_domains:plan.plan_domains ?tile:plan.plan_tile ?rank ?exchange ?global_dims
+    ?offset ~dims gen

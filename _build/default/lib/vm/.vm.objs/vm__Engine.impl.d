@@ -1,1 +1,1 @@
-lib/vm/engine.ml: Array Assignment Buffer Domain Expr Field Fieldspec Hashtbl Ir List Obs Option Philox Printf Symbolic
+lib/vm/engine.ml: Array Assignment Buffer Expr Field Fieldspec Hashtbl Ir List Obs Option Philox Pool Printf Schedule Symbolic

@@ -1,0 +1,1 @@
+lib/vm/pool.ml: Array Atomic Condition Domain Fun List Mutex Stdlib String Sys

@@ -1,0 +1,1 @@
+lib/vm/schedule.ml: Array Fmt List String

@@ -1,0 +1,1 @@
+lib/vm/tune.ml: Array Engine Fmt Hashtbl Ir List Obs Option Perfmodel Pool Schedule

@@ -240,11 +240,12 @@ let run_group g c =
     (Array.unsafe_get g i) c
   done
 
-(* Sweep one chunk of the outermost loop (3D). *)
-let sweep_chunk_3d (b : bound) (c : ctx) ~range lo0 hi0 =
+(* Sweep one tile (3D): [lo]/[hi] are inclusive loop bounds indexed by loop
+   depth, following the lowering's loop_order.  A full sweep is the single
+   tile spanning every range; cache blocking shrinks the outer depths. *)
+let sweep_tile_3d (b : bound) (c : ctx) ~(lo : int array) ~(hi : int array) =
   let order = b.lowered.Ir.Lower.loop_order in
   let a0 = order.(0) and a1 = order.(1) and a2 = order.(2) in
-  let lo1, hi1 = range a1 and lo2, hi2 = range a2 in
   let block = b.block in
   let any_buf = snd (List.hd block.buffers) in
   let stride = any_buf.Buffer.stride in
@@ -254,15 +255,15 @@ let sweep_chunk_3d (b : bound) (c : ctx) ~range lo0 hi0 =
     let g = v + block.offset.(ax) in
     match ax with 0 -> c.cx <- g | 1 -> c.cy <- g | _ -> c.cz <- g
   in
-  for i0 = lo0 to hi0 do
+  for i0 = lo.(0) to hi.(0) do
     set_coord a0 i0;
     run_group b.per_loop.(0) c;
-    for i1 = lo1 to hi1 do
+    for i1 = lo.(1) to hi.(1) do
       set_coord a1 i1;
       run_group b.per_loop.(1) c;
-      set_coord a2 lo2;
+      set_coord a2 lo.(2);
       c.base <- Buffer.base_index any_buf coords;
-      for i2 = lo2 to hi2 do
+      for i2 = lo.(2) to hi.(2) do
         set_coord a2 i2;
         run_group b.body c;
         c.base <- c.base + stride.(a2)
@@ -270,10 +271,9 @@ let sweep_chunk_3d (b : bound) (c : ctx) ~range lo0 hi0 =
     done
   done
 
-let sweep_chunk_2d (b : bound) (c : ctx) ~range lo0 hi0 =
+let sweep_tile_2d (b : bound) (c : ctx) ~(lo : int array) ~(hi : int array) =
   let order = b.lowered.Ir.Lower.loop_order in
   let a0 = order.(0) and a1 = order.(1) in
-  let lo1, hi1 = range a1 in
   let block = b.block in
   let any_buf = snd (List.hd block.buffers) in
   let stride = any_buf.Buffer.stride in
@@ -283,12 +283,12 @@ let sweep_chunk_2d (b : bound) (c : ctx) ~range lo0 hi0 =
     let g = v + block.offset.(ax) in
     match ax with 0 -> c.cx <- g | _ -> c.cy <- g
   in
-  for i0 = lo0 to hi0 do
+  for i0 = lo.(0) to hi.(0) do
     set_coord a0 i0;
     run_group b.per_loop.(0) c;
-    set_coord a1 lo1;
+    set_coord a1 lo.(1);
     c.base <- Buffer.base_index any_buf coords;
-    for i1 = lo1 to hi1 do
+    for i1 = lo.(1) to hi.(1) do
       set_coord a1 i1;
       run_group b.body c;
       c.base <- c.base + stride.(a1)
@@ -331,70 +331,92 @@ let sweep_cells (b : bound) =
   done;
   !total
 
-(* The sweep skeleton, parameterized over [wrap], which brackets each
-   outer-loop slice ([slice] 0 is the coordinating domain, [i > 0] the i-th
-   spawned domain).  Instrumented and plain execution share this code so the
-   two paths cannot drift. *)
-let run_sliced ~wrap ~num_domains ~step ~params (b : bound) =
+(* The sweep skeleton, parameterized over [wrap], which brackets each pool
+   lane's share of the tiles ([lane] 0 is the coordinating domain, [i > 0]
+   the i-th persistent pool worker).  Instrumented and plain execution
+   share this code so the two paths cannot drift.
+
+   Every tile runs with a fresh [ctx]: the preheader and per-depth hoisted
+   groups are deterministic functions of the parameters and loop
+   coordinates (they are recomputed at every outer-loop iteration even in a
+   serial sweep), so recomputing them per tile changes nothing — which is
+   exactly why tiled, pooled execution is bitwise identical to serial. *)
+let run_tiled ?wrap ~num_domains ~tile ~step ~params (b : bound) =
   let dim = b.kernel.Ir.Kernel.dim in
   let range = sweep_range b in
   let order = b.lowered.Ir.Lower.loop_order in
-  let lo0, hi0 = range order.(0) in
-  let chunk lo hi =
+  let ranges = Array.init dim (fun d -> range order.(d)) in
+  let shape =
+    match tile with
+    | Some s -> Some s
+    | None ->
+      if num_domains <= 1 then None (* serial: one tile = the classic sweep *)
+      else begin
+        (* default parallel schedule: slice the outermost loop into about
+           2x[num_domains] chunks so the atomic queue can balance lanes *)
+        let lo0, hi0 = ranges.(0) in
+        let n0 = hi0 - lo0 + 1 in
+        let chunk = max 1 ((n0 + (2 * num_domains) - 1) / (2 * num_domains)) in
+        Some (Array.init dim (fun d -> if d = 0 then chunk else 0))
+      end
+  in
+  let tiles = Schedule.make ~ranges ?shape () in
+  let exec ~lane:_ ti =
+    let t : Schedule.tile = tiles.(ti) in
     let c = make_ctx b ~params ~step in
     run_group b.preheader c;
-    if dim = 3 then sweep_chunk_3d b c ~range lo hi else sweep_chunk_2d b c ~range lo hi
+    if dim = 3 then sweep_tile_3d b c ~lo:t.Schedule.lo ~hi:t.Schedule.hi
+    else sweep_tile_2d b c ~lo:t.Schedule.lo ~hi:t.Schedule.hi
   in
-  if num_domains <= 1 || hi0 - lo0 < num_domains then wrap 0 (fun () -> chunk lo0 hi0)
-  else begin
-    let n = num_domains in
-    let total = hi0 - lo0 + 1 in
-    let per = (total + n - 1) / n in
-    let spawned =
-      List.init (n - 1) (fun i ->
-          let lo = lo0 + ((i + 1) * per) in
-          let hi = min hi0 (lo + per - 1) in
-          Domain.spawn (fun () -> wrap (i + 1) (fun () -> if lo <= hi then chunk lo hi)))
-    in
-    wrap 0 (fun () -> chunk lo0 (min hi0 (lo0 + per - 1)));
-    List.iter Domain.join spawned
-  end
+  Pool.run ?wrap ~domains:num_domains ~ntiles:(Array.length tiles) exec
 
 (** The uninstrumented sweep: no observability entry points at all.  The
     [obs] bench artifact measures [run] (sink disabled) against this to
     certify the disabled-instrumentation overhead. *)
-let run_plain ?(num_domains = 1) ?(step = 0) ~params (b : bound) =
-  run_sliced ~wrap:(fun _ f -> f ()) ~num_domains ~step ~params b
+let run_plain ?(num_domains = 1) ?tile ?(step = 0) ~params (b : bound) =
+  ignore (run_tiled ~num_domains ~tile ~step ~params b)
 
 (** Execute one sweep of the kernel over the block.
 
-    [num_domains > 1] slices the outermost loop across that many OCaml
-    domains (shared buffers; disjoint writes).  [params] must bind every
-    free symbol of the kernel.
+    [num_domains > 1] decomposes the sweep into cache-blocked tiles
+    (shape [tile], indexed by loop depth; default: outermost-loop slices)
+    and executes them on the persistent domain pool (shared buffers;
+    disjoint writes).  The default [num_domains] is [Pool.default_domains]
+    — the [PFGEN_DOMAINS] environment.  [params] must bind every free
+    symbol of the kernel.
 
     When the observability sink is enabled, the sweep is wrapped in a
-    [kernel:<name>] span, each spawned domain's slice gets its own
-    [slice:<name>] span on its domain track, and per-kernel cell/sweep
-    counters plus an ns-per-cell histogram are updated — all per sweep,
-    never per cell.  Disabled, the only cost is this one branch. *)
-let run ?(num_domains = 1) ?(step = 0) ~params (b : bound) =
-  if not (Obs.Sink.enabled ()) then run_plain ~num_domains ~step ~params b
+    [kernel:<name>] span, each pool lane's share gets its own
+    [slice:<name>] span on its stable lane track, per-kernel cell/sweep
+    counters plus an ns-per-cell histogram are updated, and pooled sweeps
+    bump the global [vm.tiles]/[vm.steals] counters — all per sweep, never
+    per cell, and all from the coordinating domain ([Obs.Metrics] is not
+    thread-safe).  Disabled, the only cost is this one branch. *)
+let run ?num_domains ?tile ?(step = 0) ~params (b : bound) =
+  let num_domains =
+    match num_domains with Some n -> n | None -> Pool.default_domains ()
+  in
+  if not (Obs.Sink.enabled ()) then run_plain ~num_domains ?tile ~step ~params b
   else begin
     let name = b.kernel.Ir.Kernel.name in
     let cells = sweep_cells b in
-    let wrap slice f =
-      if slice = 0 then f ()  (* the coordinating slice lives inside the kernel span *)
-      else Obs.Span.with_ ~cat:"vm" ~tid:slice ("slice:" ^ name) f
+    let wrap lane f =
+      if lane = 0 then f ()  (* the coordinating lane lives inside the kernel span *)
+      else Obs.Span.with_ ~cat:"vm" ~tid:lane ("slice:" ^ name) f
     in
-    let (), dt_ns =
+    let stats, dt_ns =
       Obs.Clock.time_ns (fun () ->
           Obs.Span.with_ ~cat:"vm" ~args:[ ("cells", float_of_int cells) ]
             ("kernel:" ^ name) (fun () ->
-              run_sliced ~wrap ~num_domains ~step ~params b))
+              run_tiled ~wrap ~num_domains ~tile ~step ~params b))
     in
     Obs.Metrics.add (Obs.Metrics.counter ("vm." ^ name ^ ".cells")) cells;
     Obs.Metrics.incr (Obs.Metrics.counter ("vm." ^ name ^ ".sweeps"));
     Obs.Metrics.observe
       (Obs.Metrics.histogram ("vm." ^ name ^ ".ns_per_cell"))
-      (dt_ns /. float_of_int (max 1 cells))
+      (dt_ns /. float_of_int (max 1 cells));
+    if stats.Pool.lanes > 1 then begin
+      Obs.Metrics.add (Obs.Metrics.counter "vm.tiles") stats.Pool.tiles_run;
+      Obs.Metrics.add (Obs.Metrics.counter "vm.steals") stats.Pool.steals
+    end
   end

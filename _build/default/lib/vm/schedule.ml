@@ -1,0 +1,89 @@
+(** Static cache-blocked tile schedules for kernel sweeps.
+
+    A sweep is decomposed into rectangular tiles in {e loop-depth} space:
+    index [d] of a tile refers to the [d]-th loop of the lowering's
+    [loop_order] (0 = outermost), not to a fixed spatial axis.  Keeping the
+    innermost depth at full extent preserves the contiguous stride-1 walk
+    the layout chosen by [Ir.Lower] gives the inner loop, which is the
+    whole point of the paper's spatial blocking (§6.1): tiles shorten the
+    reuse distance of the {e outer} loops so the layer condition holds in
+    L2, while the unit-stride stream stays intact.
+
+    The schedule is a plain array in lexicographic tile order (innermost
+    depth varying fastest).  That order is the {e deterministic
+    accumulation order} the determinism battery locks down: every executor
+    — serial, or any assignment of tiles to pool lanes — writes each cell
+    exactly once with a value that depends only on the cell and the source
+    buffers, so the result is independent of which lane ran which tile. *)
+
+type tile = {
+  lo : int array;  (** inclusive lower loop bound per depth *)
+  hi : int array;  (** inclusive upper loop bound per depth *)
+}
+
+(** [shape.(d)] is the tile extent at loop depth [d]; [0] (or a missing
+    entry) means "full extent at this depth".  A [None] shape is one tile
+    spanning the whole sweep. *)
+let make ~(ranges : (int * int) array) ?shape () =
+  let dim = Array.length ranges in
+  let extent d = let lo, hi = ranges.(d) in hi - lo + 1 in
+  let shape_at d =
+    let full = max 1 (extent d) in
+    match shape with
+    | Some s when d < Array.length s && s.(d) > 0 -> min s.(d) full
+    | _ -> full
+  in
+  let counts =
+    Array.init dim (fun d ->
+        let n = extent d in
+        if n <= 0 then 0 else (n + shape_at d - 1) / shape_at d)
+  in
+  if dim = 0 || Array.exists (fun c -> c = 0) counts then [||]
+  else begin
+    let total = Array.fold_left ( * ) 1 counts in
+    Array.init total (fun i ->
+        (* mixed-radix decode, innermost depth fastest *)
+        let idx = Array.make dim 0 in
+        let rem = ref i in
+        for d = dim - 1 downto 0 do
+          idx.(d) <- !rem mod counts.(d);
+          rem := !rem / counts.(d)
+        done;
+        let lo = Array.make dim 0 and hi = Array.make dim 0 in
+        for d = 0 to dim - 1 do
+          let rlo, rhi = ranges.(d) in
+          let s = shape_at d in
+          lo.(d) <- rlo + (idx.(d) * s);
+          hi.(d) <- min rhi (lo.(d) + s - 1)
+        done;
+        { lo; hi })
+  end
+
+(** Cells covered by one tile. *)
+let cells t =
+  let n = ref 1 in
+  for d = 0 to Array.length t.lo - 1 do
+    n := !n * (t.hi.(d) - t.lo.(d) + 1)
+  done;
+  !n
+
+(** Parse a tile-shape flag value: ["8x4"] -> [[|8;4|]], a dimension of
+    ["*"] or ["0"] means full extent ([--tile 8x*] blocks only the outer
+    loop). *)
+let shape_of_string s =
+  let part p =
+    match String.trim p with
+    | "*" | "0" -> 0
+    | p -> (
+      match int_of_string_opt p with
+      | Some n when n > 0 -> n
+      | _ -> invalid_arg ("Schedule.shape_of_string: bad tile extent " ^ p))
+  in
+  match String.split_on_char 'x' (String.lowercase_ascii s) with
+  | [] | [ "" ] -> invalid_arg "Schedule.shape_of_string: empty tile shape"
+  | parts -> Array.of_list (List.map part parts)
+
+let pp_shape ppf shape =
+  Fmt.pf ppf "%s"
+    (String.concat "x"
+       (Array.to_list (Array.map (fun n -> if n = 0 then "*" else string_of_int n) shape)))

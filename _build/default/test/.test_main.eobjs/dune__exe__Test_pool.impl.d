@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Array Atomic Check Expr Field Fieldspec Float Fun Hashtbl Int Int64 Ir Lazy List Obs Option Pfcore Symbolic Vm

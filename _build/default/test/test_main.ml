@@ -18,4 +18,5 @@ let () =
       ("backend", Test_backend.suite);
       ("check", Test_check.suite);
       ("obs", Test_obs.suite);
+      ("pool", Test_pool.suite);
     ]

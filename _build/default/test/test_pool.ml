@@ -1,0 +1,300 @@
+(* Pool scheduler battery: tile-schedule algebra, engine edge cases (empty
+   interiors, tiles larger than the sweep), pool reuse across invocations
+   (the per-call Domain.spawn regression), exception safety inside tiles,
+   autotuner cache behavior, and the simulate --domains/--tile plumbing. *)
+
+open Symbolic
+open Expr
+
+let with_obs f =
+  Obs.Metrics.reset ();
+  Obs.Sink.clear ();
+  Obs.Sink.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Sink.disable ();
+      Obs.Sink.clear ();
+      Obs.Metrics.reset ())
+    f
+
+(* ---- Schedule ---- *)
+
+(* Every cell of the sweep is covered by exactly one tile, whatever the
+   shape — the precondition of the whole determinism argument. *)
+let test_schedule_partition () =
+  List.iter
+    (fun (ranges, shape) ->
+      let tiles = Vm.Schedule.make ~ranges ?shape () in
+      let lo0 = Array.map fst ranges and hi0 = Array.map snd ranges in
+      let counts = Hashtbl.create 64 in
+      Array.iter
+        (fun (t : Vm.Schedule.tile) ->
+          let rec walk d coords =
+            if d = Array.length ranges then begin
+              let key = Array.to_list coords in
+              Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+            end
+            else
+              for i = t.Vm.Schedule.lo.(d) to t.Vm.Schedule.hi.(d) do
+                coords.(d) <- i;
+                walk (d + 1) coords
+              done
+          in
+          walk 0 (Array.make (Array.length ranges) 0))
+        tiles;
+      let total =
+        Array.fold_left ( * ) 1 (Array.mapi (fun d _ -> max 0 (hi0.(d) - lo0.(d) + 1)) lo0)
+      in
+      Alcotest.(check int) "each cell covered exactly once" total (Hashtbl.length counts);
+      Hashtbl.iter (fun _ n -> Alcotest.(check int) "no overlap" 1 n) counts)
+    [
+      ([| (0, 7); (0, 5) |], Some [| 3; 2 |]);
+      ([| (0, 7); (0, 5) |], Some [| 64; 64 |]);   (* tile larger than the sweep *)
+      ([| (0, 8); (0, 4); (0, 4) |], Some [| 2; 3; 0 |]);
+      ([| (0, 5); (0, 5) |], None);
+      ([| (2, 2); (0, 0) |], Some [| 1; 1 |]);
+    ]
+
+let test_schedule_empty () =
+  Alcotest.(check int) "empty range -> zero tiles" 0
+    (Array.length (Vm.Schedule.make ~ranges:[| (0, 3); (0, -1) |] ~shape:[| 2; 2 |] ()));
+  Alcotest.(check int) "zero-dim -> zero tiles" 0
+    (Array.length (Vm.Schedule.make ~ranges:[||] ()))
+
+let test_shape_of_string () =
+  Alcotest.(check (array int)) "AxB" [| 8; 4 |] (Vm.Schedule.shape_of_string "8x4");
+  Alcotest.(check (array int)) "AxBxC" [| 16; 8; 4 |] (Vm.Schedule.shape_of_string "16x8x4");
+  Alcotest.(check (array int)) "star = full extent" [| 8; 0 |]
+    (Vm.Schedule.shape_of_string "8x*");
+  Alcotest.check_raises "negative extent rejected"
+    (Invalid_argument "Schedule.shape_of_string: bad tile extent -2") (fun () ->
+      ignore (Vm.Schedule.shape_of_string "4x-2"))
+
+(* ---- engine edge cases ---- *)
+
+let f2 = Fieldspec.scalar ~dim:2 "f"
+let g2 = Fieldspec.scalar ~dim:2 "g"
+
+let avg_kernel () =
+  let acc d k = access (Fieldspec.shift (Fieldspec.center f2) d k) in
+  let rhs = mul [ num 0.2; add [ field f2; acc 0 1; acc 0 (-1); acc 1 1; acc 1 (-1) ] ] in
+  Ir.Kernel.make ~name:"avg" ~dim:2 [ Field.Assignment.store (Fieldspec.center g2) rhs ]
+
+let run_avg ?tile ~num_domains ~dims () =
+  let block = Vm.Engine.make_block ~ghost:1 ~dims [ f2; g2 ] in
+  let fbuf = Vm.Engine.buffer block f2 in
+  Vm.Buffer.init fbuf (fun c _ -> float_of_int ((c.(0) * 3) + (c.(1) * 7)));
+  Vm.Buffer.periodic fbuf;
+  Vm.Engine.run ?tile ~num_domains ~params:[] (Vm.Engine.bind (avg_kernel ()) block);
+  block
+
+let buffers_bits_equal a b =
+  List.for_all2
+    (fun (_, (x : Vm.Buffer.t)) (_, (y : Vm.Buffer.t)) ->
+      let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          if not (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float y.Vm.Buffer.data.(i)))
+          then ok := false)
+        x.Vm.Buffer.data;
+      !ok)
+    a.Vm.Engine.buffers b.Vm.Engine.buffers
+
+(* A sweep over an empty interior (one extent 0) schedules zero tiles and
+   must complete without touching anything, pooled or not. *)
+let test_empty_interior () =
+  let block = run_avg ~num_domains:4 ~dims:[| 5; 0 |] () in
+  Array.iter
+    (fun v -> Alcotest.(check (float 0.)) "nothing written" 0. v)
+    (Vm.Engine.buffer block g2).Vm.Buffer.data
+
+(* A grid smaller than one tile clamps to a single tile; result is the
+   serial answer, bitwise. *)
+let test_tile_larger_than_sweep () =
+  let serial = run_avg ~num_domains:1 ~dims:[| 8; 6 |] () in
+  let pooled = run_avg ~tile:[| 64; 64 |] ~num_domains:2 ~dims:[| 8; 6 |] () in
+  let tiny = run_avg ~tile:[| 3; 2 |] ~num_domains:4 ~dims:[| 2; 2 |] () in
+  let tiny_serial = run_avg ~num_domains:1 ~dims:[| 2; 2 |] () in
+  Alcotest.(check bool) "giant tile = serial (bitwise)" true (buffers_bits_equal serial pooled);
+  Alcotest.(check bool) "grid smaller than tile = serial (bitwise)" true
+    (buffers_bits_equal tiny_serial tiny)
+
+(* ---- pool reuse and the spawn regression ---- *)
+
+(* The old engine spawned fresh domains on every kernel invocation.  Now:
+   across 100 pooled invocations the cumulative spawn count must not move,
+   and the observability lane ids must stay the stable worker set. *)
+let test_domain_count_constant () =
+  with_obs (fun () ->
+      let sweep () = ignore (run_avg ~num_domains:3 ~dims:[| 8; 6 |] ()) in
+      sweep () (* warmup: spawns the two workers at most once *);
+      Obs.Sink.clear ();
+      let spawned0 = Vm.Pool.spawned_total () in
+      for _ = 1 to 100 do
+        sweep ()
+      done;
+      Alcotest.(check int) "no extra domain spawns across 100 invocations" spawned0
+        (Vm.Pool.spawned_total ());
+      let tids =
+        List.sort_uniq Int.compare
+          (List.filter_map
+             (fun (e : Obs.Sink.event) ->
+               if e.Obs.Sink.tid > 0 then Some e.Obs.Sink.tid else None)
+             (Obs.Sink.events ()))
+      in
+      Alcotest.(check (list int)) "stable pool lane ids 1..domains-1" [ 1; 2 ] tids)
+
+(* ---- exception inside a tile ---- *)
+
+exception Boom
+
+(* A tile that raises must abort the job, re-raise at the coordinator,
+   leave every span stream balanced, and leave the pool usable. *)
+let test_exception_in_tile () =
+  with_obs (fun () ->
+      let wrap lane f =
+        if lane = 0 then f () else Obs.Span.with_ ~cat:"vm" ~tid:lane "slice:boom" f
+      in
+      let raised =
+        try
+          ignore
+            (Vm.Pool.run ~wrap ~domains:3 ~ntiles:8 (fun ~lane:_ ti ->
+                 if ti = 5 then raise Boom));
+          false
+        with Boom -> true
+      in
+      Alcotest.(check bool) "tile exception re-raised at coordinator" true raised;
+      Alcotest.(check bool) "span stream balanced after tile exception" true
+        (Check.Obs_props.stream_well_formed (Obs.Sink.events ()));
+      (* the pool is still usable: the next job must run every tile *)
+      let hits = Atomic.make 0 in
+      let stats =
+        Vm.Pool.run ~wrap ~domains:3 ~ntiles:8 (fun ~lane:_ _ -> Atomic.incr hits)
+      in
+      Alcotest.(check int) "pool usable after exception: all tiles ran" 8 (Atomic.get hits);
+      Alcotest.(check int) "stats count the tiles" 8 stats.Vm.Pool.tiles_run)
+
+(* Same property end to end through the engine: a kernel whose parameters
+   are unbound raises inside the first tile of a pooled sweep. *)
+let test_engine_exception_pooled () =
+  with_obs (fun () ->
+      let k =
+        Ir.Kernel.make ~name:"needs_alpha" ~dim:2
+          [ Field.Assignment.store (Fieldspec.center g2) (mul [ sym "alpha"; field f2 ]) ]
+      in
+      let block = Vm.Engine.make_block ~ghost:1 ~dims:[| 8; 6 |] [ f2; g2 ] in
+      let bound = Vm.Engine.bind k block in
+      let raised =
+        try
+          Vm.Engine.run ~num_domains:3 ~tile:[| 2; 2 |] ~params:[] bound;
+          false
+        with Invalid_argument _ -> true
+      in
+      Alcotest.(check bool) "unbound parameter raises through the pool" true raised;
+      Alcotest.(check bool) "span stream balanced after engine exception" true
+        (Check.Obs_props.stream_well_formed (Obs.Sink.events ()));
+      (* and the pool still runs real work *)
+      ignore (run_avg ~num_domains:3 ~dims:[| 8; 6 |] ()))
+
+(* ---- autotuner cache ---- *)
+
+let tune_candidates coeff = [ ("full", [ avg_kernel () ]) ] |> fun c ->
+  if coeff = 0.2 then c
+  else
+    [
+      ( "full",
+        [
+          Ir.Kernel.make ~name:"avg" ~dim:2
+            [ Field.Assignment.store (Fieldspec.center g2) (mul [ num coeff; field f2 ]) ];
+        ] );
+    ]
+
+let tune_block () =
+  let block = Vm.Engine.make_block ~ghost:1 ~dims:[| 8; 6 |] [ f2; g2 ] in
+  let fbuf = Vm.Engine.buffer block f2 in
+  Vm.Buffer.init fbuf (fun c _ -> float_of_int (c.(0) + c.(1)));
+  Vm.Buffer.periodic fbuf;
+  block
+
+let test_tune_cache () =
+  Vm.Tune.clear_cache ();
+  let decide ?(domains = 2) cands =
+    Vm.Tune.decide ~domains ~sweeps:1 ~reps:1 ~dims:[| 8; 6 |] ~make_block:tune_block
+      ~params:[] cands
+  in
+  let c1 = decide (tune_candidates 0.2) in
+  let c2 = decide (tune_candidates 0.2) in
+  Alcotest.(check int) "identical model is a cache hit" 1 (fst (Vm.Tune.cache_stats ()));
+  Alcotest.(check int) "first decision was a miss" 1 (snd (Vm.Tune.cache_stats ()));
+  Alcotest.(check int) "hit returns the same decision" c1.Vm.Tune.fingerprint
+    c2.Vm.Tune.fingerprint;
+  (* changing the kernel structure changes the fingerprint -> miss *)
+  let c3 = decide (tune_candidates 0.25) in
+  Alcotest.(check int) "changed model fingerprint is a miss" 2 (snd (Vm.Tune.cache_stats ()));
+  Alcotest.(check bool) "fingerprints differ" true
+    (c1.Vm.Tune.fingerprint <> c3.Vm.Tune.fingerprint);
+  (* so does the pool width the decision was tuned for *)
+  ignore (decide ~domains:4 (tune_candidates 0.2));
+  Alcotest.(check int) "changed domain count is a miss" 3 (snd (Vm.Tune.cache_stats ()));
+  Alcotest.(check bool) "probes produced finite costs" true
+    (List.for_all (fun (_, ns) -> Float.is_finite ns && ns > 0.) c1.Vm.Tune.measured_ns)
+
+(* ---- simulate --domains/--tile plumbing and the tuned constructor ---- *)
+
+let curvature_gen = lazy (Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ()))
+
+(* What `pfgen simulate --domains 4 --tile 3x2` builds must reproduce the
+   default serial run bitwise after several full time steps. *)
+let test_simulate_flags_bitwise () =
+  let g = Lazy.force curvature_gen in
+  let run ~num_domains ?tile () =
+    let sim = Pfcore.Timestep.create ~num_domains ?tile ~dims:[| 12; 12 |] g in
+    Pfcore.Simulation.init_smooth sim;
+    Pfcore.Timestep.run sim ~steps:3;
+    sim
+  in
+  let serial = run ~num_domains:1 () in
+  let pooled = run ~num_domains:4 ~tile:(Vm.Schedule.shape_of_string "3x2") () in
+  Alcotest.(check bool) "3 pooled tiled steps = serial steps (bitwise)" true
+    (buffers_bits_equal serial.Pfcore.Timestep.block pooled.Pfcore.Timestep.block)
+
+let test_autotune_plan () =
+  Vm.Tune.clear_cache ();
+  let g = Lazy.force curvature_gen in
+  let plan = Pfcore.Timestep.autotune ~domains:2 ~probe_n:8 g in
+  Alcotest.(check bool) "a phi variant was selected" true
+    (List.mem plan.Pfcore.Timestep.phi.Vm.Tune.variant_label [ "full"; "split" ]);
+  Alcotest.(check bool) "curvature has no mu family" true
+    (plan.Pfcore.Timestep.mu = None);
+  let _, misses = Vm.Tune.cache_stats () in
+  let plan' = Pfcore.Timestep.autotune ~domains:2 ~probe_n:8 g in
+  Alcotest.(check int) "second autotune served from cache" misses
+    (snd (Vm.Tune.cache_stats ()));
+  Alcotest.(check int) "cached plan decision is identical"
+    plan.Pfcore.Timestep.phi.Vm.Tune.fingerprint plan'.Pfcore.Timestep.phi.Vm.Tune.fingerprint;
+  (* the plan actually applies *)
+  let sim = Pfcore.Timestep.create_tuned ~plan ~dims:[| 12; 12 |] g in
+  Pfcore.Simulation.init_smooth sim;
+  Pfcore.Timestep.run sim ~steps:2;
+  Alcotest.(check bool) "tuned sim stays sane" true (Pfcore.Simulation.check_sane sim)
+
+let suite =
+  [
+    Alcotest.test_case "schedule: tiles partition the sweep" `Quick test_schedule_partition;
+    Alcotest.test_case "schedule: empty ranges" `Quick test_schedule_empty;
+    Alcotest.test_case "schedule: --tile shape parsing" `Quick test_shape_of_string;
+    Alcotest.test_case "engine: empty interior is a no-op" `Quick test_empty_interior;
+    Alcotest.test_case "engine: tile larger than sweep = serial" `Quick
+      test_tile_larger_than_sweep;
+    Alcotest.test_case "pool: domain count constant across 100 invocations" `Quick
+      test_domain_count_constant;
+    Alcotest.test_case "pool: exception in a tile (usable, balanced spans)" `Quick
+      test_exception_in_tile;
+    Alcotest.test_case "engine: pooled exception propagates cleanly" `Quick
+      test_engine_exception_pooled;
+    Alcotest.test_case "tune: cache hit/miss per model fingerprint" `Quick test_tune_cache;
+    Alcotest.test_case "simulate --domains/--tile plumbing is bitwise exact" `Quick
+      test_simulate_flags_bitwise;
+    Alcotest.test_case "tune: autotune plan selects, caches and applies" `Quick
+      test_autotune_plan;
+  ]
