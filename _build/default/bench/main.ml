@@ -41,14 +41,19 @@ let git_rev =
        | _ -> "unknown"
      with _ -> "unknown")
 
+(* The shared provenance block of every BENCH_*.json artifact; one
+   definition so a new artifact cannot drift from the established schema. *)
+let meta_json () =
+  Printf.sprintf
+    "  \"meta\": {\n    \"git_rev\": %S,\n    \"ocaml_version\": %S,\n    \"domains\": %d\n  },\n"
+    (Lazy.force git_rev) Sys.ocaml_version
+    (Domain.recommended_domain_count ())
+
 let write_bench_json target =
   let path = Printf.sprintf "BENCH_%s.json" target in
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"target\": %S,\n" target;
-  Printf.fprintf oc
-    "  \"meta\": {\n    \"git_rev\": %S,\n    \"ocaml_version\": %S,\n    \"domains\": %d\n  },\n"
-    (Lazy.force git_rev) Sys.ocaml_version
-    (Domain.recommended_domain_count ());
+  output_string oc (meta_json ());
   Printf.fprintf oc "  \"metrics\": {\n";
   let entries = List.rev !metrics in
   List.iteri
@@ -719,6 +724,81 @@ let pool_bench () =
       :: !gate_failures
 
 (* ------------------------------------------------------------------ *)
+(* JIT: interpreter vs closure-compiled tapes                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The JIT speedup gate: a serial P1 phi-full sweep through the compiled
+   backend must beat the tree-walking interpreter by >= 5x per cell, with
+   the one-time compilation excluded (both backends are warmed before
+   timing) — and the warm phase must never recompile: the memo table has
+   to serve every timed sweep.  Both gates are unconditional; the measured
+   numbers and the compile cost land in BENCH_jit.json. *)
+let jit_bench () =
+  section "JIT: interpreter vs closure-compiled P1 phi-full sweep (1 core)";
+  let gen = Lazy.force gen_p1 in
+  let dims = [| 24; 24; 24 |] in
+  let block = bench_block gen ~dims in
+  let bound = Vm.Engine.bind gen.Pfcore.Genkernels.phi_full block in
+  let params = kernel_params gen in
+  let sweeps = 2 and reps = 3 in
+  let best backend =
+    (* warmup sweep: for the JIT this includes the one-time compilation *)
+    Vm.Engine.run_plain ~backend ~params bound;
+    let t = ref infinity in
+    for rep = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      for s = 1 to sweeps do
+        Vm.Engine.run_plain ~backend ~step:((rep * sweeps) + s) ~params bound
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !t then t := dt
+    done;
+    !t /. float_of_int sweeps
+  in
+  Vm.Jit.clear_cache ();
+  (* one-time compile cost: the first [get] populates the memo cache; for
+     the native tier that includes the ocamlopt round trip.  Timed here so
+     the warm-sweep measurements below exclude it entirely. *)
+  let t0 = Unix.gettimeofday () in
+  let compiled =
+    Vm.Jit.get ~dims ~ghost:2 gen.Pfcore.Genkernels.phi_full
+      (Ir.Lower.run gen.Pfcore.Genkernels.phi_full)
+  in
+  let compile_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Fmt.pr "tape: %d quads, tier: %s@." compiled.Vm.Jit.n_ops
+    compiled.Vm.Jit.native_note;
+  let t_interp = best Vm.Engine.Interp in
+  let _, misses_warm = Vm.Jit.cache_stats () in
+  let t_jit = best Vm.Engine.Jit in
+  let recompiles = snd (Vm.Jit.cache_stats ()) - misses_warm in
+  let cells = float_of_int (Array.fold_left ( * ) 1 dims) in
+  let ns t = t *. 1e9 /. cells in
+  let speedup = t_interp /. t_jit in
+  let threshold = 5.0 in
+  Fmt.pr "interpreter sweep:     %8.1f ns/cell@." (ns t_interp);
+  Fmt.pr "jit sweep (warm):      %8.1f ns/cell@." (ns t_jit);
+  Fmt.pr "speedup:               %8.2fx (gate >= %.1fx, ENFORCED)@." speedup threshold;
+  Fmt.pr "one-time compile:      %8.2f ms (excluded from the warm sweeps)@." compile_ms;
+  Fmt.pr "recompiles after warmup: %d (gate = 0, ENFORCED)@." recompiles;
+  metric "interp_ns_per_cell" (ns t_interp);
+  metric "jit_ns_per_cell" (ns t_jit);
+  metric "speedup" speedup;
+  metric "compile_ms" compile_ms;
+  metric "native_tier" (if compiled.Vm.Jit.native then 1. else 0.);
+  metric "recompiles_after_warmup" (float_of_int recompiles);
+  metric "gate_threshold" threshold;
+  metric "gate_passed" (if speedup >= threshold && recompiles = 0 then 1. else 0.);
+  if recompiles <> 0 then
+    gate_failures :=
+      Printf.sprintf "jit: %d recompilation(s) after warmup (expected 0)" recompiles
+      :: !gate_failures;
+  if speedup < threshold then
+    gate_failures :=
+      Printf.sprintf "jit: speedup %.2fx below the %.1fx gate over the interpreter" speedup
+        threshold
+      :: !gate_failures
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let artifacts =
@@ -736,6 +816,7 @@ let () =
       ("micro", micro);
       ("obs", obs);
       ("pool", pool_bench);
+      ("jit", jit_bench);
     ]
   in
   (* each artifact prints its table and then dumps the metrics it

@@ -190,17 +190,19 @@ let decomposition ~dim ~size ~ranks =
   let block_dims = Array.init dim (fun d -> if d = 0 then size / ranks else size) in
   (grid, block_dims)
 
-let build_forest ?num_domains ?tile ~split ~grid ~block_dims g =
+let build_forest ?num_domains ?tile ?backend ~split ~grid ~block_dims g =
   let forest =
-    Blocks.Forest.create ~variant_phi:(variant_of split) ?num_domains ?tile ~grid
+    Blocks.Forest.create ~variant_phi:(variant_of split) ?num_domains ?tile ?backend ~grid
       ~block_dims g
   in
   Array.iter Pfcore.Simulation.init_lamellae forest.Blocks.Forest.sims;
   Blocks.Forest.prime forest;
   forest
 
-let build_single ?num_domains ?tile ~split ~dims params g =
-  let sim = Pfcore.Timestep.create ~variant_phi:(variant_of split) ?num_domains ?tile ~dims g in
+let build_single ?num_domains ?tile ?backend ~split ~dims params g =
+  let sim =
+    Pfcore.Timestep.create ~variant_phi:(variant_of split) ?num_domains ?tile ?backend ~dims g
+  in
   init_single params sim;
   Pfcore.Timestep.prime sim;
   sim
@@ -229,8 +231,8 @@ let forest_phi_mismatches (g : Pfcore.Genkernels.t) a b =
   walk 0;
   !bad
 
-let simulate params size steps ranks split domains tile crash_at ckpt_every fault_seed trace
-    metrics_out =
+let simulate params size steps ranks split domains tile backend crash_at ckpt_every
+    fault_seed trace metrics_out =
   let g = generate params false in
   let dim = params.Pfcore.Params.dim in
   let observing = trace <> None || metrics_out <> None in
@@ -245,7 +247,9 @@ let simulate params size steps ranks split domains tile crash_at ckpt_every faul
   let fractions =
     if ranks > 1 then begin
       let grid, block_dims = decomposition ~dim ~size ~ranks in
-      let forest = build_forest ?num_domains:domains ?tile ~split ~grid ~block_dims g in
+      let forest =
+        build_forest ?num_domains:domains ?tile ?backend ~split ~grid ~block_dims g
+      in
       (match crash_at with
       | None -> Blocks.Forest.run forest ~steps
       | Some k ->
@@ -276,7 +280,10 @@ let simulate params size steps ranks split domains tile crash_at ckpt_every faul
     end
     else begin
       if crash_at <> None then failwith "--crash-at requires --ranks > 1";
-      let sim = build_single ?num_domains:domains ?tile ~split ~dims:(Array.make dim size) params g in
+      let sim =
+        build_single ?num_domains:domains ?tile ?backend ~split ~dims:(Array.make dim size)
+          params g
+      in
       Pfcore.Timestep.run sim ~steps;
       Pfcore.Simulation.phase_fractions sim
     end
@@ -297,11 +304,15 @@ let simulate params size steps ranks split domains tile crash_at ckpt_every faul
     | None -> ()
   end;
   let cells = float_of_int (int_of_float (float_of_int size ** float_of_int dim)) in
-  Fmt.pr "%d steps of %s on %d^%d (%d rank%s, %s phi kernel) in %.2f s = %.3f MLUP/s@." steps
-    params.Pfcore.Params.name size dim ranks
+  let backend_name =
+    Vm.Engine.backend_label
+      (match backend with Some b -> b | None -> Vm.Engine.default_backend ())
+  in
+  Fmt.pr "%d steps of %s on %d^%d (%d rank%s, %s phi kernel, %s backend) in %.2f s = %.3f MLUP/s@."
+    steps params.Pfcore.Params.name size dim ranks
     (if ranks > 1 then "s" else "")
     (if split then "split" else "full")
-    dt
+    backend_name dt
     (cells *. float_of_int steps /. dt /. 1e6);
   Fmt.pr "phase fractions: %a@." Fmt.(array ~sep:sp (fmt "%.4f")) fractions
 
@@ -316,6 +327,18 @@ let domains_arg =
 
 let tile_arg =
   Arg.(value & opt (some tile_conv) None & info [ "tile" ] ~doc:"Cache-blocking tile shape per loop depth, e.g. 8x4 (2D) or 16x8x* (3D; * or 0 = full extent at that depth). Default: one slab per domain along the outer loop." ~docv:"AxB")
+
+let backend_conv =
+  let parse s =
+    match Vm.Engine.backend_of_string s with
+    | Some b -> Ok b
+    | None -> Error (`Msg ("unknown backend " ^ s ^ " (interp, jit)"))
+  in
+  let print ppf b = Fmt.string ppf (Vm.Engine.backend_label b) in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(value & opt (some backend_conv) None & info [ "backend" ] ~doc:"VM execution backend: interp (reference interpreter) or jit (closure-compiled tapes, bitwise identical, compiled once per kernel program). Default: \\$PFGEN_VM_BACKEND or interp." ~docv:"BACKEND")
 
 let size_arg = Arg.(value & opt int 32 & info [ "size" ] ~doc:"Domain edge length in cells.")
 let steps_arg = Arg.(value & opt int 50 & info [ "steps" ] ~doc:"Time steps to run.")
@@ -341,8 +364,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a simulation with the generated kernels (optionally on simulated MPI ranks, optionally under fault injection with crash recovery, optionally recording a trace and metrics).")
     Term.(const simulate $ model_arg $ size_arg $ steps_arg $ ranks_arg $ split_arg
-          $ domains_arg $ tile_arg $ crash_arg $ ckpt_every_arg $ fault_seed_arg
-          $ trace_arg $ metrics_arg)
+          $ domains_arg $ tile_arg $ backend_arg $ crash_arg $ ckpt_every_arg
+          $ fault_seed_arg $ trace_arg $ metrics_arg)
 
 (* ---- checkpoint / resume ---- *)
 
@@ -514,14 +537,18 @@ let choice_json (c : Vm.Tune.choice) =
     "{\n\
     \      \"variant\": %S,\n\
     \      \"tile\": %S,\n\
+    \      \"backend\": %S,\n\
     \      \"fingerprint\": \"%08x\",\n\
     \      \"predicted_cy_per_lup\": { %s },\n\
     \      \"measured_ns_per_lup\": { %s },\n\
+    \      \"backend_ns_per_lup\": { %s },\n\
     \      \"cachesim_bytes_per_lup\": %.6g\n\
     \    }"
     c.Vm.Tune.variant_label
     (Fmt.str "%a" Vm.Tune.pp_tile c.Vm.Tune.tile)
+    (Vm.Engine.backend_label c.Vm.Tune.backend)
     c.Vm.Tune.fingerprint (assoc c.Vm.Tune.predicted_cy) (assoc c.Vm.Tune.measured_ns)
+    (assoc c.Vm.Tune.backend_ns)
     c.Vm.Tune.cachesim_bytes_per_lup
 
 let tune_json (params : Pfcore.Params.t) (plan : Pfcore.Timestep.plan) =
@@ -530,9 +557,18 @@ let tune_json (params : Pfcore.Params.t) (plan : Pfcore.Timestep.plan) =
     :: (match plan.Pfcore.Timestep.mu with Some m -> [ ("mu", m) ] | None -> [])
   in
   Printf.sprintf
-    "{\n  \"model\": %S,\n  \"domains\": %d,\n  \"tile\": %S,\n  \"families\": {\n%s\n  }\n}\n"
+    "{\n\
+    \  \"model\": %S,\n\
+    \  \"domains\": %d,\n\
+    \  \"tile\": %S,\n\
+    \  \"backend\": %S,\n\
+    \  \"families\": {\n\
+     %s\n\
+    \  }\n\
+     }\n"
     params.Pfcore.Params.name plan.Pfcore.Timestep.plan_domains
     (Fmt.str "%a" Vm.Tune.pp_tile plan.Pfcore.Timestep.plan_tile)
+    (Vm.Engine.backend_label plan.Pfcore.Timestep.plan_backend)
     (String.concat ",\n"
        (List.map (fun (k, c) -> Printf.sprintf "    %S: %s" k (choice_json c)) families))
 
@@ -542,8 +578,9 @@ let tune params domains probe_n check_flag json =
     match domains with Some d -> d | None -> Vm.Pool.default_domains ()
   in
   let plan = Pfcore.Timestep.autotune ~domains ~probe_n g in
-  Fmt.pr "model %s, tuned for %d domain(s), %d^%d probe block@." params.Pfcore.Params.name
-    domains probe_n params.Pfcore.Params.dim;
+  Fmt.pr "model %s, tuned for %d domain(s), %d^%d probe block, %s backend@."
+    params.Pfcore.Params.name domains probe_n params.Pfcore.Params.dim
+    (Vm.Engine.backend_label plan.Pfcore.Timestep.plan_backend);
   Fmt.pr "@.phi family:@.%a@." Vm.Tune.pp_choice plan.Pfcore.Timestep.phi;
   (match plan.Pfcore.Timestep.mu with
   | Some m -> Fmt.pr "mu family:@.%a@." Vm.Tune.pp_choice m

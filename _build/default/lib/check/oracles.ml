@@ -424,14 +424,15 @@ let gen_p2_pool = lazy (Pfcore.Genkernels.generate (Pfcore.Params.p2 ()))
 (* One sweep of one generated kernel family (all 8 P1/P2 variants are
    reachable through [Drift.variant_kernels]) over a smooth-initialized
    block, with the given pool width and tile shape. *)
-let pooled_run (s : Gen.pool_sample) ~num_domains ~tile =
+let pooled_run ?(backend = Vm.Engine.Interp) (s : Gen.pool_sample) ~num_domains ~tile =
   let g = Lazy.force (if s.Gen.pl_p2 then gen_p2_pool else gen_p1_pool) in
   let dims = Array.make g.Pfcore.Genkernels.params.Pfcore.Params.dim s.Gen.pl_n in
   let block = Drift.drift_block g ~dims in
   let params = Drift.runtime_params g in
   let _, kernels = List.nth (Drift.variant_kernels g) s.Gen.pl_variant in
   List.iter
-    (fun k -> Vm.Engine.run ~num_domains ?tile ~step:1 ~params (Vm.Engine.bind k block))
+    (fun k ->
+      Vm.Engine.run ~num_domains ?tile ~step:1 ~backend ~params (Vm.Engine.bind k block))
     kernels;
   block
 
@@ -454,6 +455,29 @@ let pooled_vs_serial ~count =
           !ok)
         serial.Vm.Engine.buffers pooled.Vm.Engine.buffers)
 
+(* The JIT backend is guilty until proven bitwise-identical: over the same
+   random model/grid/tile/domain space as oracle 7 (all 8 P1/P2 kernel
+   variants, QCheck-shrunk on failure), a compiled pooled sweep must write
+   exactly what the interpreter's serial sweep writes — the interpreter
+   stays the reference implementation. *)
+let jit_vs_interp ~count =
+  QCheck.Test.make ~name:"oracle8: jit backend = interpreter (bitwise)" ~count
+    Gen.arb_pool
+    (fun s ->
+      let reference = pooled_run ~backend:Vm.Engine.Interp s ~num_domains:1 ~tile:None in
+      let jitted =
+        pooled_run ~backend:Vm.Engine.Jit s ~num_domains:s.Gen.pl_domains
+          ~tile:(Some s.Gen.pl_tile)
+      in
+      List.for_all2
+        (fun (_, (a : Vm.Buffer.t)) (_, (b : Vm.Buffer.t)) ->
+          let ok = ref true in
+          Array.iteri
+            (fun i x -> if not (bits_equal x b.Vm.Buffer.data.(i)) then ok := false)
+            a.Vm.Buffer.data;
+          !ok)
+        reference.Vm.Engine.buffers jitted.Vm.Engine.buffers)
+
 (* ------------------------------------------------------------------ *)
 (* The harness's test list                                             *)
 (* ------------------------------------------------------------------ *)
@@ -471,5 +495,6 @@ let all ~count =
       snapshot_corruption ~count:(max 4 (count / 2));
       crash_restart_bitwise ~count:(max 2 (count / 8));
       pooled_vs_serial ~count:(max 3 (count / 3));
+      jit_vs_interp ~count:(max 3 (count / 3));
     ]
   @ Obs_props.tests ~count

@@ -23,6 +23,7 @@ type t = {
   variant_mu : variant;
   num_domains : int;
   tile : int array option;  (** loop-depth tile shape for every kernel sweep *)
+  backend : Vm.Engine.backend;  (** execution backend for every kernel sweep *)
   lane : int;  (** observability lane: 0 = local, 1 + r = simulated rank r *)
   exchange : Vm.Engine.block -> Fieldspec.t -> unit;
   phi_full : Vm.Engine.bound;
@@ -49,8 +50,9 @@ let field_list (g : Genkernels.t) =
     [PFGEN_DOMAINS]; [tile] fixes the cache-blocking shape of every kernel
     sweep (loop-depth indexed, [0] = full extent at that depth). *)
 let create ?(variant_phi = Full) ?(variant_mu = Full)
-    ?(num_domains = Vm.Pool.default_domains ()) ?tile ?rank
-    ?(exchange = default_exchange) ?global_dims ?offset ~dims (gen : Genkernels.t) =
+    ?(num_domains = Vm.Pool.default_domains ()) ?tile
+    ?(backend = Vm.Engine.default_backend ()) ?rank ?(exchange = default_exchange)
+    ?global_dims ?offset ~dims (gen : Genkernels.t) =
   let block = Vm.Engine.make_block ~ghost:2 ?global_dims ?offset ~dims (field_list gen) in
   let bind k = Vm.Engine.bind k block in
   {
@@ -60,6 +62,7 @@ let create ?(variant_phi = Full) ?(variant_mu = Full)
     variant_mu;
     num_domains;
     tile;
+    backend;
     lane = (match rank with None -> 0 | Some r -> Obs.Sink.rank_lane r);
     exchange;
     phi_full = bind gen.phi_full;
@@ -85,8 +88,8 @@ let prime t =
     t.exchange t.block t.gen.Genkernels.fields.mu_src
 
 let run_kernel t bound =
-  Vm.Engine.run ~num_domains:t.num_domains ?tile:t.tile ~step:t.step_count
-    ~params:(runtime_params t) bound
+  Vm.Engine.run ~num_domains:t.num_domains ?tile:t.tile ~backend:t.backend
+    ~step:t.step_count ~params:(runtime_params t) bound
 
 let has_mu t = Params.n_mu t.gen.Genkernels.params > 0
 
@@ -210,6 +213,7 @@ type plan = {
   mu : Vm.Tune.choice option;
   plan_domains : int;
   plan_tile : int array option;
+  plan_backend : Vm.Engine.backend;  (** follows the dominant family, like the tile *)
 }
 
 (** Tune both kernel families of [gen] on a [probe_n]^dim block.  Decisions
@@ -233,6 +237,7 @@ let autotune ?machine ?(domains = Vm.Pool.default_domains ()) ?(probe_n = 10)
     mu;
     plan_domains = domains;
     plan_tile = (match mu with Some m -> m.Vm.Tune.tile | None -> phi.Vm.Tune.tile);
+    plan_backend = (match mu with Some m -> m.Vm.Tune.backend | None -> phi.Vm.Tune.backend);
   }
 
 let variant_of_choice (c : Vm.Tune.choice) = if c.Vm.Tune.variant_label = "split" then Split else Full
@@ -243,5 +248,5 @@ let create_tuned ?plan ?rank ?exchange ?global_dims ?offset ~dims (gen : Genkern
   let plan = match plan with Some p -> p | None -> autotune gen in
   create ~variant_phi:(variant_of_choice plan.phi)
     ?variant_mu:(Option.map variant_of_choice plan.mu)
-    ~num_domains:plan.plan_domains ?tile:plan.plan_tile ?rank ?exchange ?global_dims
-    ?offset ~dims gen
+    ~num_domains:plan.plan_domains ?tile:plan.plan_tile ~backend:plan.plan_backend ?rank
+    ?exchange ?global_dims ?offset ~dims gen

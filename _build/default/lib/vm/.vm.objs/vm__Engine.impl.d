@@ -1,1 +1,1 @@
-lib/vm/engine.ml: Array Assignment Buffer Expr Field Fieldspec Hashtbl Ir List Obs Option Philox Pool Printf Schedule Symbolic
+lib/vm/engine.ml: Array Assignment Buffer Expr Field Fieldspec Hashtbl Ir Jit List Obs Option Philox Pool Printf Schedule Symbolic Sys

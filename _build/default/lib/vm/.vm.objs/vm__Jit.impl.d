@@ -1,0 +1,1 @@
+lib/vm/jit.ml: Array Assignment Expr Field Fieldspec Float Hashtbl Int64 Ir Jit_native List Obj Obs Philox Printf Stdlib String Symbolic

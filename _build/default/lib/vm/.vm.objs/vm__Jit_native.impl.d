@@ -1,0 +1,1 @@
+lib/vm/jit_native.ml: Dynlink Filename Lazy List Obj Printexc Printf String Sys Unix

@@ -44,6 +44,31 @@ let buffer block (f : Fieldspec.t) =
   | None -> invalid_arg ("Engine.buffer: no buffer for field " ^ f.Fieldspec.name)
 
 (* ------------------------------------------------------------------ *)
+(* Backend selection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** How sweeps execute: [Interp] walks the closure tree built by [bind]
+    (the reference semantics); [Jit] runs the tape program compiled by
+    {!Jit} — bitwise identical by contract, held to it by oracle 8. *)
+type backend = Interp | Jit
+
+let backend_label = function Interp -> "interp" | Jit -> "jit"
+
+let backend_of_string = function
+  | "interp" | "interpreter" -> Some Interp
+  | "jit" -> Some Jit
+  | _ -> None
+
+(** The process default, from [PFGEN_VM_BACKEND] (unset = interpreter). *)
+let default_backend () =
+  match Sys.getenv_opt "PFGEN_VM_BACKEND" with
+  | None -> Interp
+  | Some s -> (
+    match backend_of_string s with
+    | Some b -> b
+    | None -> invalid_arg ("PFGEN_VM_BACKEND: unknown backend " ^ s))
+
+(* ------------------------------------------------------------------ *)
 (* Expression compilation                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -217,6 +242,7 @@ let bind ?(fastest = 0) (kernel : Ir.Kernel.t) (block : block) =
   in
   let compile_list l = Array.of_list (List.map (compile_assignment binder) l) in
   let dim = kernel.Ir.Kernel.dim in
+  let groups = Ir.Lower.groups lowered in
   let uses_rand =
     List.exists
       (fun (a : Assignment.t) ->
@@ -229,9 +255,9 @@ let bind ?(fastest = 0) (kernel : Ir.Kernel.t) (block : block) =
     block;
     param_names = Array.of_list params;
     n_temps = List.length temps;
-    preheader = compile_list lowered.Ir.Lower.hoisted.(0);
-    per_loop = Array.init (dim - 1) (fun i -> compile_list lowered.Ir.Lower.hoisted.(i + 1));
-    body = compile_list lowered.Ir.Lower.body;
+    preheader = compile_list groups.(0);
+    per_loop = Array.init (dim - 1) (fun i -> compile_list groups.(i + 1));
+    body = compile_list groups.(dim);
     uses_rand;
   }
 
@@ -341,7 +367,7 @@ let sweep_cells (b : bound) =
    coordinates (they are recomputed at every outer-loop iteration even in a
    serial sweep), so recomputing them per tile changes nothing — which is
    exactly why tiled, pooled execution is bitwise identical to serial. *)
-let run_tiled ?wrap ~num_domains ~tile ~step ~params (b : bound) =
+let run_tiled ?wrap ?(backend = Interp) ~num_domains ~tile ~step ~params (b : bound) =
   let dim = b.kernel.Ir.Kernel.dim in
   let range = sweep_range b in
   let order = b.lowered.Ir.Lower.loop_order in
@@ -361,20 +387,48 @@ let run_tiled ?wrap ~num_domains ~tile ~step ~params (b : bound) =
       end
   in
   let tiles = Schedule.make ~ranges ?shape () in
-  let exec ~lane:_ ti =
-    let t : Schedule.tile = tiles.(ti) in
-    let c = make_ctx b ~params ~step in
-    run_group b.preheader c;
-    if dim = 3 then sweep_tile_3d b c ~lo:t.Schedule.lo ~hi:t.Schedule.hi
-    else sweep_tile_2d b c ~lo:t.Schedule.lo ~hi:t.Schedule.hi
+  let exec =
+    match backend with
+    | Interp ->
+      fun ~lane:_ ti ->
+        let t : Schedule.tile = tiles.(ti) in
+        let c = make_ctx b ~params ~step in
+        run_group b.preheader c;
+        if dim = 3 then sweep_tile_3d b c ~lo:t.Schedule.lo ~hi:t.Schedule.hi
+        else sweep_tile_2d b c ~lo:t.Schedule.lo ~hi:t.Schedule.hi
+    | Jit ->
+      (* Memoized lookup on every sweep: a hit costs one hash, and the
+         hit/miss counters are what the warm-cache gates watch.  Field
+         storage is re-resolved here — after the lookup, per sweep — so
+         compiled programs survive Buffer.swap. *)
+      let comp = Jit.get ~dims:b.block.dims ~ghost:b.block.ghost b.kernel b.lowered in
+      let datas =
+        Array.map (fun f -> (buffer b.block f).Buffer.data) comp.Jit.fields
+      in
+      fun ~lane:_ ti ->
+        let t : Schedule.tile = tiles.(ti) in
+        (* per tile, like make_ctx, so a missing binding surfaces from
+           inside the pool exactly as the interpreter's does *)
+        let pvals =
+          Array.map
+            (fun name ->
+              match List.assoc_opt name params with
+              | Some v -> v
+              | None -> invalid_arg ("Engine.run: missing parameter " ^ name))
+            comp.Jit.param_names
+        in
+        let dx = Option.value (List.assoc_opt "dx" params) ~default:1. in
+        Jit.exec_tile comp ~datas ~pvals ~dx ~offset:b.block.offset
+          ~global_dims:b.block.global_dims ~step ~lo:t.Schedule.lo ~hi:t.Schedule.hi
   in
   Pool.run ?wrap ~domains:num_domains ~ntiles:(Array.length tiles) exec
 
 (** The uninstrumented sweep: no observability entry points at all.  The
     [obs] bench artifact measures [run] (sink disabled) against this to
     certify the disabled-instrumentation overhead. *)
-let run_plain ?(num_domains = 1) ?tile ?(step = 0) ~params (b : bound) =
-  ignore (run_tiled ~num_domains ~tile ~step ~params b)
+let run_plain ?(num_domains = 1) ?tile ?(step = 0) ?backend ~params (b : bound) =
+  let backend = match backend with Some be -> be | None -> default_backend () in
+  ignore (run_tiled ~backend ~num_domains ~tile ~step ~params b)
 
 (** Execute one sweep of the kernel over the block.
 
@@ -392,11 +446,12 @@ let run_plain ?(num_domains = 1) ?tile ?(step = 0) ~params (b : bound) =
     bump the global [vm.tiles]/[vm.steals] counters — all per sweep, never
     per cell, and all from the coordinating domain ([Obs.Metrics] is not
     thread-safe).  Disabled, the only cost is this one branch. *)
-let run ?num_domains ?tile ?(step = 0) ~params (b : bound) =
+let run ?num_domains ?tile ?(step = 0) ?backend ~params (b : bound) =
   let num_domains =
     match num_domains with Some n -> n | None -> Pool.default_domains ()
   in
-  if not (Obs.Sink.enabled ()) then run_plain ~num_domains ?tile ~step ~params b
+  let backend = match backend with Some be -> be | None -> default_backend () in
+  if not (Obs.Sink.enabled ()) then run_plain ~num_domains ?tile ~step ~backend ~params b
   else begin
     let name = b.kernel.Ir.Kernel.name in
     let cells = sweep_cells b in
@@ -408,7 +463,7 @@ let run ?num_domains ?tile ?(step = 0) ~params (b : bound) =
       Obs.Clock.time_ns (fun () ->
           Obs.Span.with_ ~cat:"vm" ~args:[ ("cells", float_of_int cells) ]
             ("kernel:" ^ name) (fun () ->
-              run_tiled ~wrap ~num_domains ~tile ~step ~params b))
+              run_tiled ~wrap ~backend ~num_domains ~tile ~step ~params b))
     in
     Obs.Metrics.add (Obs.Metrics.counter ("vm." ^ name ^ ".cells")) cells;
     Obs.Metrics.incr (Obs.Metrics.counter ("vm." ^ name ^ ".sweeps"));

@@ -28,6 +28,8 @@ type choice = {
   measured_ns : (string * float) list;  (** probe ns/LUP per candidate *)
   tile_trials : (int array * float) list;  (** probed shapes, ns/LUP *)
   cachesim_bytes_per_lup : float;  (** LRU-simulated traffic of the winner *)
+  backend : Engine.backend;  (** faster of interpreter/JIT on the winner *)
+  backend_ns : (string * float) list;  (** probe ns/LUP per backend *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -71,10 +73,13 @@ let count name = if Obs.Sink.enabled () then Obs.Metrics.incr (Obs.Metrics.count
 
 (* Best-of-[reps] time of [sweeps] pooled sweeps of all kernels of one
    candidate, in ns per interior cell (same protocol as the drift oracle). *)
-let probe_ns ~domains ~tile ~sweeps ~reps ~params (block : Engine.block) kernels =
+let probe_ns ?(backend = Engine.Interp) ~domains ~tile ~sweeps ~reps ~params
+    (block : Engine.block) kernels =
   let bounds = List.map (fun k -> Engine.bind k block) kernels in
   let sweep step =
-    List.iter (fun b -> Engine.run_plain ~num_domains:domains ?tile ~step ~params b) bounds
+    List.iter
+      (fun b -> Engine.run_plain ~num_domains:domains ?tile ~step ~backend ~params b)
+      bounds
   in
   sweep 0 (* warmup: also spawns the pool workers once *);
   let best = ref infinity in
@@ -181,6 +186,24 @@ let decide ?(machine = Perfmodel.Machine.skylake_8174) ?(domains = Pool.default_
         (fun (bs, bv) (s, v) -> if v < bv then (s, v) else (bs, bv))
         (List.hd tile_trials) (List.tl tile_trials)
     in
+    (* the execution backend is one more tunable axis: probe the winning
+       variant at the chosen tile under both backends and keep the faster
+       one (the JIT warms its compile cache during the probe's warmup
+       sweep, so steady-state cost is what is measured) *)
+    let backend_ns =
+      List.map
+        (fun (label, be) ->
+          ( label,
+            probe_ns ~backend:be ~domains ~tile ~sweeps ~reps ~params block winner_kernels
+          ))
+        [ (Engine.backend_label Engine.Interp, Engine.Interp);
+          (Engine.backend_label Engine.Jit, Engine.Jit) ]
+    in
+    let backend =
+      match backend_ns with
+      | [ (_, interp_ns); (_, jit_ns) ] when jit_ns < interp_ns -> Engine.Jit
+      | _ -> Engine.Interp
+    in
     let cachesim_bytes_per_lup =
       match winner_kernels with
       | [] -> 0.
@@ -202,6 +225,8 @@ let decide ?(machine = Perfmodel.Machine.skylake_8174) ?(domains = Pool.default_
         measured_ns;
         tile_trials = List.map (fun (s, v) -> (Option.value s ~default:[||], v)) tile_trials;
         cachesim_bytes_per_lup;
+        backend;
+        backend_ns;
       }
     in
     Hashtbl.replace cache fp c;
@@ -230,4 +255,7 @@ let pp_choice ppf c =
       Fmt.pf ppf " %a=%.1f" pp_tile (if Array.length s = 0 then None else Some s) ns)
     c.tile_trials;
   Fmt.pf ppf "@.selected tile %a; cachesim traffic %.0f B/LUP@." pp_tile c.tile
-    c.cachesim_bytes_per_lup
+    c.cachesim_bytes_per_lup;
+  Fmt.pf ppf "backends:";
+  List.iter (fun (label, ns) -> Fmt.pf ppf " %s=%.1f" label ns) c.backend_ns;
+  Fmt.pf ppf " -> %s@." (Engine.backend_label c.backend)

@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Array Check Expr Field Fieldspec Float Fun Golden Int64 Ir Lazy List Obs Option Pfcore Symbolic Sys Unix Vm

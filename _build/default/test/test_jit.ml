@@ -1,0 +1,258 @@
+(* JIT backend battery (mirrors test_pool.ml): compile-cache hit/miss
+   accounting through Obs counters, recompilation on fingerprint changes,
+   the engine edge cases (empty interior, tile larger than the sweep) under
+   the compiled backend, exception safety of pooled compiled sweeps, the
+   tuner's backend decision, and the golden JIT trace with its
+   vm.jit.compile span. *)
+
+open Symbolic
+open Expr
+
+let with_obs f =
+  Obs.Metrics.reset ();
+  Obs.Sink.clear ();
+  Obs.Sink.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Sink.disable ();
+      Obs.Sink.clear ();
+      Obs.Metrics.reset ())
+    f
+
+let f2 = Fieldspec.scalar ~dim:2 "f"
+let g2 = Fieldspec.scalar ~dim:2 "g"
+
+let avg_kernel ?(coeff = 0.2) () =
+  let acc d k = access (Fieldspec.shift (Fieldspec.center f2) d k) in
+  let rhs = mul [ num coeff; add [ field f2; acc 0 1; acc 0 (-1); acc 1 1; acc 1 (-1) ] ] in
+  Ir.Kernel.make ~name:"avg" ~dim:2 [ Field.Assignment.store (Fieldspec.center g2) rhs ]
+
+let run_avg ?tile ?(backend = Vm.Engine.Jit) ~num_domains ~dims () =
+  let block = Vm.Engine.make_block ~ghost:1 ~dims [ f2; g2 ] in
+  let fbuf = Vm.Engine.buffer block f2 in
+  Vm.Buffer.init fbuf (fun c _ -> float_of_int ((c.(0) * 3) + (c.(1) * 7)));
+  Vm.Buffer.periodic fbuf;
+  Vm.Engine.run ?tile ~num_domains ~backend ~params:[] (Vm.Engine.bind (avg_kernel ()) block);
+  block
+
+let buffers_bits_equal a b =
+  List.for_all2
+    (fun (_, (x : Vm.Buffer.t)) (_, (y : Vm.Buffer.t)) ->
+      let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          if not (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float y.Vm.Buffer.data.(i)))
+          then ok := false)
+        x.Vm.Buffer.data;
+      !ok)
+    a.Vm.Engine.buffers b.Vm.Engine.buffers
+
+(* ---- compile cache accounting ---- *)
+
+(* One sweep compiles, every further sweep is a memo hit; the jit.hit /
+   jit.miss counters mirror Jit.cache_stats exactly. *)
+let test_cache_counters () =
+  with_obs (fun () ->
+      Vm.Jit.clear_cache ();
+      ignore (run_avg ~num_domains:1 ~dims:[| 8; 6 |] ());
+      let h1, m1 = Vm.Jit.cache_stats () in
+      Alcotest.(check int) "first sweep is the only miss" 1 m1;
+      Alcotest.(check int) "first sweep has no hit" 0 h1;
+      for _ = 1 to 5 do
+        ignore (run_avg ~num_domains:1 ~dims:[| 8; 6 |] ())
+      done;
+      let h2, m2 = Vm.Jit.cache_stats () in
+      Alcotest.(check int) "no recompilation across warm sweeps" 1 m2;
+      Alcotest.(check int) "every warm sweep hits the memo table" 5 h2;
+      let s = Obs.Metrics.snapshot () in
+      let v name = Option.value ~default:0 (Obs.Metrics.counter_value s name) in
+      Alcotest.(check int) "jit.miss counter mirrors cache_stats" m2 (v "jit.miss");
+      Alcotest.(check int) "jit.hit counter mirrors cache_stats" h2 (v "jit.hit"))
+
+(* A changed kernel body, changed dims or changed ghost width is a new
+   fingerprint and must recompile; re-running the original still hits. *)
+let test_recompile_on_fingerprint_change () =
+  Vm.Jit.clear_cache ();
+  ignore (run_avg ~num_domains:1 ~dims:[| 8; 6 |] ());
+  Alcotest.(check int) "baseline compiled once" 1 (snd (Vm.Jit.cache_stats ()));
+  (* changed coefficient -> deep body hash differs *)
+  let block = Vm.Engine.make_block ~ghost:1 ~dims:[| 8; 6 |] [ f2; g2 ] in
+  Vm.Engine.run_plain ~backend:Vm.Engine.Jit ~params:[]
+    (Vm.Engine.bind (avg_kernel ~coeff:0.25 ()) block);
+  Alcotest.(check int) "changed coefficient recompiles" 2 (snd (Vm.Jit.cache_stats ()));
+  (* changed dims -> strides differ -> recompile *)
+  ignore (run_avg ~num_domains:1 ~dims:[| 6; 6 |] ());
+  Alcotest.(check int) "changed dims recompile" 3 (snd (Vm.Jit.cache_stats ()));
+  (* the original is still cached *)
+  ignore (run_avg ~num_domains:1 ~dims:[| 8; 6 |] ());
+  Alcotest.(check int) "original program still cached" 3 (snd (Vm.Jit.cache_stats ()))
+
+(* ---- engine edge cases under the compiled backend ---- *)
+
+let test_empty_interior () =
+  let block = run_avg ~num_domains:4 ~dims:[| 5; 0 |] () in
+  Array.iter
+    (fun v -> Alcotest.(check (float 0.)) "nothing written" 0. v)
+    (Vm.Engine.buffer block g2).Vm.Buffer.data
+
+let test_tile_larger_than_sweep () =
+  let serial = run_avg ~backend:Vm.Engine.Interp ~num_domains:1 ~dims:[| 8; 6 |] () in
+  let jit = run_avg ~tile:[| 64; 64 |] ~num_domains:2 ~dims:[| 8; 6 |] () in
+  let tiny = run_avg ~tile:[| 3; 2 |] ~num_domains:4 ~dims:[| 2; 2 |] () in
+  let tiny_serial = run_avg ~backend:Vm.Engine.Interp ~num_domains:1 ~dims:[| 2; 2 |] () in
+  Alcotest.(check bool) "jit giant tile = interp serial (bitwise)" true
+    (buffers_bits_equal serial jit);
+  Alcotest.(check bool) "jit on grid smaller than tile = interp serial (bitwise)" true
+    (buffers_bits_equal tiny_serial tiny)
+
+(* ---- exception inside a compiled tile ---- *)
+
+(* A compiled sweep whose parameters are unbound raises from inside the
+   first tile (parameter resolution is per tile, like the interpreter's
+   make_ctx); the pool must stay balanced and usable, for both backends. *)
+let test_exception_in_compiled_body () =
+  with_obs (fun () ->
+      let k =
+        Ir.Kernel.make ~name:"needs_alpha" ~dim:2
+          [ Field.Assignment.store (Fieldspec.center g2) (mul [ sym "alpha"; field f2 ]) ]
+      in
+      let block = Vm.Engine.make_block ~ghost:1 ~dims:[| 8; 6 |] [ f2; g2 ] in
+      let bound = Vm.Engine.bind k block in
+      let raised =
+        try
+          Vm.Engine.run ~num_domains:3 ~tile:[| 2; 2 |] ~backend:Vm.Engine.Jit ~params:[]
+            bound;
+          false
+        with Invalid_argument _ -> true
+      in
+      Alcotest.(check bool) "unbound parameter raises through the pool" true raised;
+      Alcotest.(check bool) "span stream balanced after jit exception" true
+        (Check.Obs_props.stream_well_formed (Obs.Sink.events ()));
+      (* the pool still runs compiled work after the failure *)
+      let after = run_avg ~num_domains:3 ~dims:[| 8; 6 |] () in
+      let reference = run_avg ~backend:Vm.Engine.Interp ~num_domains:1 ~dims:[| 8; 6 |] () in
+      Alcotest.(check bool) "pool usable after exception (bitwise vs interp)" true
+        (buffers_bits_equal reference after))
+
+(* ---- end-to-end simulate equivalence ---- *)
+
+let curvature_gen = lazy (Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ()))
+
+(* Several full time steps through Timestep (projection, exchanges, buffer
+   swaps — the swap is the interesting part: compiled programs must follow
+   the data pointers, not capture them). *)
+let test_simulate_backend_bitwise () =
+  let g = Lazy.force curvature_gen in
+  let run ~backend ~num_domains ?tile () =
+    let sim = Pfcore.Timestep.create ~backend ~num_domains ?tile ~dims:[| 12; 12 |] g in
+    Pfcore.Simulation.init_smooth sim;
+    Pfcore.Timestep.run sim ~steps:3;
+    sim
+  in
+  let interp = run ~backend:Vm.Engine.Interp ~num_domains:1 () in
+  let jit = run ~backend:Vm.Engine.Jit ~num_domains:1 () in
+  let jit_pooled =
+    run ~backend:Vm.Engine.Jit ~num_domains:4 ~tile:(Vm.Schedule.shape_of_string "3x2") ()
+  in
+  Alcotest.(check bool) "3 jit steps = interp steps (bitwise)" true
+    (buffers_bits_equal interp.Pfcore.Timestep.block jit.Pfcore.Timestep.block);
+  Alcotest.(check bool) "3 pooled tiled jit steps = interp steps (bitwise)" true
+    (buffers_bits_equal interp.Pfcore.Timestep.block jit_pooled.Pfcore.Timestep.block)
+
+(* ---- native tier vs portable tape ---- *)
+
+let p2_gen = lazy (Pfcore.Genkernels.generate (Pfcore.Params.p2 ()))
+
+(* The native tier (runtime ocamlopt + Dynlink, [Jit_native]) must be
+   bitwise interchangeable with the portable tape closures it replaces —
+   including the replicated Philox stream behind P2's fluctuation term.
+   [PFGEN_JIT_NATIVE=0] forces the tape tier; both runs clear the memo
+   cache so each genuinely compiles through its own tier. *)
+let test_native_vs_tape_bitwise () =
+  let g = Lazy.force p2_gen in
+  let run () =
+    let sim =
+      Pfcore.Timestep.create ~backend:Vm.Engine.Jit ~num_domains:1 ~dims:[| 6; 6; 6 |] g
+    in
+    Pfcore.Simulation.init_smooth sim;
+    Pfcore.Timestep.run sim ~steps:2;
+    sim
+  in
+  let prev = Sys.getenv_opt "PFGEN_JIT_NATIVE" in
+  Unix.putenv "PFGEN_JIT_NATIVE" "0";
+  Vm.Jit.clear_cache ();
+  let tape = run () in
+  Unix.putenv "PFGEN_JIT_NATIVE" (Option.value ~default:"1" prev);
+  Vm.Jit.clear_cache ();
+  let native = run () in
+  (if Vm.Jit_native.available () then
+     (* prove the second run really took the native tier *)
+     let k = avg_kernel () in
+     let c = Vm.Jit.get ~dims:[| 8; 6 |] ~ghost:1 k (Ir.Lower.run k) in
+     Alcotest.(check bool) "native tier engaged when available" true c.Vm.Jit.native);
+  Vm.Jit.clear_cache ();
+  Alcotest.(check bool) "tape tier and native tier write identical bits" true
+    (buffers_bits_equal tape.Pfcore.Timestep.block native.Pfcore.Timestep.block)
+
+(* ---- tuner backend decision ---- *)
+
+let tune_block () =
+  let block = Vm.Engine.make_block ~ghost:1 ~dims:[| 8; 6 |] [ f2; g2 ] in
+  let fbuf = Vm.Engine.buffer block f2 in
+  Vm.Buffer.init fbuf (fun c _ -> float_of_int (c.(0) + c.(1)));
+  Vm.Buffer.periodic fbuf;
+  block
+
+let test_tune_backend () =
+  Vm.Tune.clear_cache ();
+  let c =
+    Vm.Tune.decide ~domains:1 ~sweeps:1 ~reps:1 ~dims:[| 8; 6 |] ~make_block:tune_block
+      ~params:[]
+      [ ("full", [ avg_kernel () ]) ]
+  in
+  Alcotest.(check int) "both backends probed" 2 (List.length c.Vm.Tune.backend_ns);
+  Alcotest.(check bool) "backend probes are finite and positive" true
+    (List.for_all (fun (_, ns) -> Float.is_finite ns && ns > 0.) c.Vm.Tune.backend_ns);
+  Alcotest.(check bool) "decision picks the measured minimum" true
+    (let sel = Vm.Engine.backend_label c.Vm.Tune.backend in
+     let sel_ns = List.assoc sel c.Vm.Tune.backend_ns in
+     List.for_all (fun (_, ns) -> sel_ns <= ns) c.Vm.Tune.backend_ns)
+
+(* ---- golden JIT trace ---- *)
+
+(* Same fixed 2-step 8x8 curvature run as test_obs's golden trace, executed
+   through the JIT: the span tree must be reproduced with one
+   vm.jit.compile span per kernel program, emitted at first use. *)
+let test_golden_trace_jit () =
+  Vm.Jit.clear_cache ();
+  let sim =
+    Pfcore.Timestep.create ~backend:Vm.Engine.Jit ~num_domains:1 ~dims:[| 8; 8 |]
+      (Lazy.force curvature_gen)
+  in
+  Pfcore.Simulation.init_sphere sim;
+  Pfcore.Timestep.prime sim;
+  let json =
+    with_obs (fun () ->
+        Pfcore.Timestep.run sim ~steps:2;
+        Obs.Trace.to_json ~zero_times:true (Obs.Sink.events ()))
+  in
+  Golden.check ~name:"trace_curvature_8x8_jit.json" json
+
+let suite =
+  [
+    Alcotest.test_case "jit: compile cache hit/miss counters" `Quick test_cache_counters;
+    Alcotest.test_case "jit: recompile on fingerprint change" `Quick
+      test_recompile_on_fingerprint_change;
+    Alcotest.test_case "jit: empty interior is a no-op" `Quick test_empty_interior;
+    Alcotest.test_case "jit: tile larger than sweep = interp serial" `Quick
+      test_tile_larger_than_sweep;
+    Alcotest.test_case "jit: exception in compiled tile (usable, balanced)" `Quick
+      test_exception_in_compiled_body;
+    Alcotest.test_case "jit: 3 timesteps bitwise = interpreter" `Quick
+      test_simulate_backend_bitwise;
+    Alcotest.test_case "jit: native tier bitwise = tape tier (P2, Philox)" `Quick
+      test_native_vs_tape_bitwise;
+    Alcotest.test_case "tune: backend is a tunable variant" `Quick test_tune_backend;
+    Alcotest.test_case "jit: golden Chrome trace with vm.jit.compile span" `Quick
+      test_golden_trace_jit;
+  ]

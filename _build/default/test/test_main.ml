@@ -19,4 +19,5 @@ let () =
       ("check", Test_check.suite);
       ("obs", Test_obs.suite);
       ("pool", Test_pool.suite);
+      ("jit", Test_jit.suite);
     ]
