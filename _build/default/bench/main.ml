@@ -799,6 +799,114 @@ let jit_bench () =
       :: !gate_failures
 
 (* ------------------------------------------------------------------ *)
+(* Serve: the multi-tenant simulation farm                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The farm gates: after a warmup batch has populated the mempool's size
+   classes, a steady-state batch over the same workload must allocate ZERO
+   fresh field buffers (every acquire is a free-list hit) and the overall
+   hit rate must reach 90%.  Both are unconditional — they hold on any
+   machine because admission order and buffer sizes are deterministic.
+   Throughput and latency percentiles are recorded for the experiment log. *)
+let serve_bench () =
+  section "Serve: multi-tenant farm, steady-state batch over a shared mempool";
+  let specs =
+    Serve.Workload.generate ~families:[ Serve.Workload.Curv2d ] ~with_crash:false ~seed:9
+      ~jobs:12 ()
+  in
+  let config = Serve.Scheduler.default_config () in
+  let mempool = Serve.Mempool.create () in
+  (* warmup batch: takes the cold misses that size the pool's free lists *)
+  let warm = Serve.Scheduler.run ~config ~mempool specs in
+  let m_warm = warm.Serve.Scheduler.mempool in
+  (* steady-state batch: the same workload, recycled storage throughout *)
+  let stats = Serve.Scheduler.run ~config ~mempool specs in
+  let m = stats.Serve.Scheduler.mempool in
+  let n = List.length stats.Serve.Scheduler.results in
+  let elapsed_s = stats.Serve.Scheduler.elapsed_ns /. 1e9 in
+  let jobs_per_s = float_of_int n /. elapsed_s in
+  let latencies =
+    List.sort compare
+      (List.map
+         (fun (r : Serve.Scheduler.job_result) -> r.Serve.Scheduler.latency_ns /. 1e6)
+         stats.Serve.Scheduler.results)
+  in
+  let percentile p =
+    List.nth latencies
+      (min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+  in
+  let p50 = percentile 0.5 and p99 = percentile 0.99 in
+  let steady_hits = m.Serve.Mempool.hits - m_warm.Serve.Mempool.hits in
+  let steady_misses = m.Serve.Mempool.misses - m_warm.Serve.Mempool.misses in
+  (* the gated rate is the steady-state batch's own; the cumulative rate
+     (including warmup's unavoidable cold misses) is recorded alongside *)
+  let hit_rate =
+    let total = steady_hits + steady_misses in
+    if total = 0 then 0. else float_of_int steady_hits /. float_of_int total
+  in
+  let cumulative_rate =
+    let total = m.Serve.Mempool.hits + m.Serve.Mempool.misses in
+    if total = 0 then 0. else float_of_int m.Serve.Mempool.hits /. float_of_int total
+  in
+  let threshold = 0.9 in
+  Fmt.pr "steady-state batch:    %d job(s) in %.3f s = %.1f jobs/s@." n elapsed_s jobs_per_s;
+  Fmt.pr "job latency:           p50 %.1f ms, p99 %.1f ms@." p50 p99;
+  Fmt.pr "preemptions:           %d, crash restarts: %d@." stats.Serve.Scheduler.preemptions
+    stats.Serve.Scheduler.restarts;
+  Fmt.pr "mempool:               %a@." Serve.Mempool.pp_stats m;
+  Fmt.pr "steady-state hit rate: %8.1f%% (gate >= %.0f%%, ENFORCED; %.1f%% incl. warmup)@."
+    (100. *. hit_rate) (100. *. threshold) (100. *. cumulative_rate);
+  Fmt.pr "steady-state acquires: %d hit(s), %d fresh alloc(s) (gate = 0, ENFORCED)@."
+    steady_hits steady_misses;
+  metric "jobs" (float_of_int n);
+  metric "jobs_per_s" jobs_per_s;
+  metric "latency_p50_ms" p50;
+  metric "latency_p99_ms" p99;
+  metric "preemptions" (float_of_int stats.Serve.Scheduler.preemptions);
+  metric "mempool_hit_rate" hit_rate;
+  metric "mempool_hit_rate_incl_warmup" cumulative_rate;
+  metric "steady_state_fresh_allocs" (float_of_int steady_misses);
+  metric "mempool_high_water_bytes" (float_of_int m.Serve.Mempool.high_water_bytes);
+  metric "gate_threshold" threshold;
+  metric "gate_passed" (if hit_rate >= threshold && steady_misses = 0 then 1. else 0.);
+  if steady_misses <> 0 then
+    gate_failures :=
+      Printf.sprintf "serve: %d fresh allocation(s) in the steady-state batch (expected 0)"
+        steady_misses
+      :: !gate_failures;
+  if hit_rate < threshold then
+    gate_failures :=
+      Printf.sprintf "serve: mempool hit rate %.1f%% below the %.0f%% gate" (100. *. hit_rate)
+        (100. *. threshold)
+      :: !gate_failures;
+  (* throughput vs quantum (recorded, not gated): smaller quanta buy finer
+     interleaving at the cost of more scheduler passes and preemption
+     snapshot traffic; each point is a steady-state batch on its own
+     warmed mempool *)
+  Fmt.pr "@.%-10s %12s %14s %12s@." "quantum" "jobs/s" "p99 ms" "preemptions";
+  List.iter
+    (fun qn ->
+      let config = { config with Serve.Scheduler.quantum = qn } in
+      let mp = Serve.Mempool.create () in
+      let _warm = Serve.Scheduler.run ~config ~mempool:mp specs in
+      let st = Serve.Scheduler.run ~config ~mempool:mp specs in
+      let nq = List.length st.Serve.Scheduler.results in
+      let jps = float_of_int nq /. (st.Serve.Scheduler.elapsed_ns /. 1e9) in
+      let lats =
+        List.sort compare
+          (List.map
+             (fun (r : Serve.Scheduler.job_result) -> r.Serve.Scheduler.latency_ns /. 1e6)
+             st.Serve.Scheduler.results)
+      in
+      let p99q =
+        List.nth lats (min (nq - 1) (int_of_float ((0.99 *. float_of_int (nq - 1)) +. 0.5)))
+      in
+      Fmt.pr "%-10d %12.1f %14.1f %12d@." qn jps p99q st.Serve.Scheduler.preemptions;
+      metric (Printf.sprintf "jobs_per_s_quantum_%d" qn) jps;
+      metric (Printf.sprintf "latency_p99_ms_quantum_%d" qn) p99q)
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let artifacts =
@@ -817,6 +925,7 @@ let () =
       ("obs", obs);
       ("pool", pool_bench);
       ("jit", jit_bench);
+      ("serve", serve_bench);
     ]
   in
   (* each artifact prints its table and then dumps the metrics it

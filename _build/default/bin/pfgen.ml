@@ -660,6 +660,144 @@ let tune_cmd =
     Term.(const tune $ model_arg $ tune_domains_arg $ probe_size_arg $ tune_check_arg
           $ tune_json_arg)
 
+(* ---- serve ---- *)
+
+let serve jobs seed quantum active park_after budget_mb quota domains tune soak verify
+    no_crash trace metrics_out =
+  let jobs = if soak then max jobs 50 else jobs in
+  let verify = verify || soak in
+  let observing = trace <> None || metrics_out <> None in
+  if observing then begin
+    Obs.Metrics.reset ();
+    Obs.Sink.clear ();
+    Obs.Sink.enable ()
+  end;
+  let specs =
+    Serve.Workload.generate ~with_crash:(not no_crash) ~seed ~jobs ()
+  in
+  let config =
+    {
+      Serve.Scheduler.quantum;
+      max_active = active;
+      budget_bytes = budget_mb * 1024 * 1024;
+      tenant_quota = quota;
+      park_after;
+      num_domains = (match domains with Some d -> d | None -> Vm.Pool.default_domains ());
+      autotune = tune;
+      ckpt_every = 2;
+    }
+  in
+  let mempool = Serve.Mempool.create () in
+  let t0 = Unix.gettimeofday () in
+  let stats = Serve.Scheduler.run ~config ~mempool specs in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun ((spec : Serve.Workload.spec), reason) ->
+      Fmt.pr "rejected: %a (%s)@." Serve.Workload.pp_spec spec reason)
+    stats.Serve.Scheduler.rejected;
+  List.iter
+    (fun (r : Serve.Scheduler.job_result) ->
+      Fmt.pr "done: %a | %d quantum(s), %d preemption(s), %d restart(s), %.1f ms@."
+        Serve.Workload.pp_spec r.Serve.Scheduler.r_spec r.Serve.Scheduler.r_quanta
+        r.Serve.Scheduler.r_preemptions r.Serve.Scheduler.r_restarts
+        (r.Serve.Scheduler.latency_ns /. 1e6))
+    stats.Serve.Scheduler.results;
+  let n = List.length stats.Serve.Scheduler.results in
+  let mp = stats.Serve.Scheduler.mempool in
+  let hit_rate =
+    let total = mp.Serve.Mempool.hits + mp.Serve.Mempool.misses in
+    if total = 0 then 0. else float_of_int mp.Serve.Mempool.hits /. float_of_int total
+  in
+  let qs = stats.Serve.Scheduler.queue in
+  Fmt.pr
+    "farm: %d job(s) in %.2f s = %.1f jobs/s; %d preemption(s), %d crash restart(s); \
+     queue parked %d (budget) + %d (quota), rejected %d@."
+    n dt
+    (float_of_int n /. dt)
+    stats.Serve.Scheduler.preemptions stats.Serve.Scheduler.restarts
+    qs.Serve.Queue.parked_budget qs.Serve.Queue.parked_quota qs.Serve.Queue.rejected;
+  Fmt.pr "mempool: %.1f%% hit rate, %a@." (100. *. hit_rate) Serve.Mempool.pp_stats mp;
+  if observing then begin
+    Obs.Sink.disable ();
+    (match trace with
+    | Some path ->
+      let evs = Obs.Sink.events () in
+      Obs.Trace.save path evs;
+      Fmt.pr "wrote Chrome trace to %s (%d events)@." path (List.length evs)
+    | None -> ());
+    match metrics_out with
+    | Some path ->
+      Obs.Report.save path (Obs.Metrics.snapshot ());
+      Fmt.pr "wrote metrics report to %s@." path
+    | None -> ()
+  end;
+  if verify then begin
+    (* oracle 9 inline: every farm result must equal its solo run bitwise *)
+    let bad =
+      List.filter
+        (fun (r : Serve.Scheduler.job_result) ->
+          not
+            (Resilience.Snapshot.equal r.Serve.Scheduler.final
+               (Serve.Scheduler.run_solo r.Serve.Scheduler.r_spec)))
+        stats.Serve.Scheduler.results
+    in
+    if bad = [] then
+      Fmt.pr "verification: all %d farm result(s) = solo runs (bitwise)@." n
+    else begin
+      List.iter
+        (fun (r : Serve.Scheduler.job_result) ->
+          Fmt.epr "verification FAILED: %a diverges from its solo run@."
+            Serve.Workload.pp_spec r.Serve.Scheduler.r_spec)
+        bad;
+      exit 1
+    end
+  end;
+  if soak && n < 50 then begin
+    Fmt.epr "soak FAILED: only %d of the required 50 job(s) completed@." n;
+    exit 1
+  end
+
+let serve_jobs_arg =
+  Arg.(value & opt int 12 & info [ "jobs" ] ~doc:"Workload size (forced to at least 50 by --soak).")
+
+let serve_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload seed: the same seed replays the identical job mix.")
+
+let quantum_arg =
+  Arg.(value & opt int 2 & info [ "quantum" ] ~doc:"Timesteps per scheduler slice.")
+
+let active_arg =
+  Arg.(value & opt int 3 & info [ "active" ] ~doc:"Maximum resident (admitted) jobs.")
+
+let park_after_arg =
+  Arg.(value & opt int 3 & info [ "park-after" ] ~doc:"Preempt a job after $(docv) consecutive quanta: snapshot it, recycle its buffers, requeue it (0 disables preemption)." ~docv:"N")
+
+let budget_mb_arg =
+  Arg.(value & opt int 64 & info [ "budget-mb" ] ~doc:"Memory budget for admission control, in MiB of projected field-buffer bytes.")
+
+let quota_arg =
+  Arg.(value & opt int 2 & info [ "quota" ] ~doc:"Maximum resident jobs per tenant.")
+
+let serve_tune_arg =
+  Arg.(value & flag & info [ "tune" ] ~doc:"Take tile shapes from the shared Vm.Tune cache (probed once per model family, hit by every further job).")
+
+let soak_arg =
+  Arg.(value & flag & info [ "soak" ] ~doc:"Soak gate: run at least 50 mixed jobs with crash injection and verify every result bitwise against a solo run; exits nonzero on any divergence.")
+
+let serve_verify_arg =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Verify every farm result bitwise against a solo rerun of the same job (implied by --soak).")
+
+let no_crash_arg =
+  Arg.(value & flag & info [ "no-crash" ] ~doc:"Generate the workload without fault-injected jobs.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run a multi-tenant simulation farm: a priority job queue with tenant quotas and memory admission control feeds a cooperative round-robin scheduler that slices jobs into timestep quanta over the persistent domain pool, recycles field buffers through a size-class memory pool, shares the autotune cache across jobs, preempts long jobs via snapshots and survives injected rank crashes by rollback recovery.")
+    Term.(const serve $ serve_jobs_arg $ serve_seed_arg $ quantum_arg $ active_arg
+          $ park_after_arg $ budget_mb_arg $ quota_arg $ domains_arg $ serve_tune_arg
+          $ soak_arg $ serve_verify_arg $ no_crash_arg $ trace_arg $ metrics_arg)
+
 (* ---- check ---- *)
 
 let check samples seed quiet =
@@ -701,5 +839,6 @@ let () =
             resume_cmd;
             drift_cmd;
             tune_cmd;
+            serve_cmd;
             check_cmd;
           ]))

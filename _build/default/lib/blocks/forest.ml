@@ -38,7 +38,7 @@ let neighbor t rank ~axis ~dir =
   rank_of_coords t.grid c
 
 let create ?(variant_phi = Pfcore.Timestep.Full) ?(variant_mu = Pfcore.Timestep.Full)
-    ?num_domains ?tile ?backend ~grid ~block_dims (gen : Pfcore.Genkernels.t) =
+    ?num_domains ?tile ?backend ?alloc ~grid ~block_dims (gen : Pfcore.Genkernels.t) =
   let dim = Array.length block_dims in
   if Array.length grid <> dim then invalid_arg "Forest.create: rank mismatch";
   let global_dims = Array.mapi (fun d n -> n * grid.(d)) block_dims in
@@ -49,7 +49,7 @@ let create ?(variant_phi = Pfcore.Timestep.Full) ?(variant_mu = Pfcore.Timestep.
         let c = rank_coords grid r in
         let offset = Array.mapi (fun d n -> c.(d) * n) block_dims in
         Pfcore.Timestep.create ~variant_phi ~variant_mu ?num_domains ?tile ?backend
-          ~rank:r ~dims:block_dims ~global_dims ~offset gen)
+          ?alloc ~rank:r ~dims:block_dims ~global_dims ~offset gen)
   in
   { comm; grid; block_dims; global_dims; sims }
 

@@ -1,1 +1,1 @@
-lib/check/oracles.ml: Array Blocks Bytes Char Cse Drift Eval Expr Fd Field Fieldspec Float Gen Hashtbl Int64 Ir Lazy List Obs_props Pfcore Philox QCheck Resilience Simplify String Symbolic Vm
+lib/check/oracles.ml: Array Blocks Bytes Char Cse Drift Eval Expr Fd Field Fieldspec Float Gen Hashtbl Int64 Ir Lazy List Obs_props Pfcore Philox QCheck Resilience Serve Simplify String Symbolic Vm

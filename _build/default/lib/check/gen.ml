@@ -445,3 +445,42 @@ let arb_pool : pool_sample QCheck.arbitrary =
      let* pl_tile = G.array_size (G.return 3) (G.oneofl [ 0; 1; 2; 3; 5 ]) in
      let* pl_domains = G.oneofl [ 1; 2; 4 ] in
      G.return { pl_p2; pl_variant; pl_n; pl_tile; pl_domains })
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 9: farm-scheduled execution vs. solo                         *)
+(* ------------------------------------------------------------------ *)
+
+type farm_sample = {
+  fm_seed : int;      (** workload seed *)
+  fm_jobs : int;      (** batch size *)
+  fm_quantum : int;   (** timesteps per scheduler slice *)
+  fm_active : int;    (** resident-job cap *)
+  fm_park : int;      (** preempt after this many quanta; 0 = never *)
+  fm_crash : bool;    (** mix in fault-injected 2-rank jobs *)
+}
+
+let pp_farm ppf (s : farm_sample) =
+  Fmt.pf ppf "workload seed %d, %d job(s), quantum %d, %d active, park after %d%s"
+    s.fm_seed s.fm_jobs s.fm_quantum s.fm_active s.fm_park
+    (if s.fm_crash then ", crash injection" else "")
+
+(* Shrink toward one uninterrupted job: fewer jobs first, then no crashes,
+   no preemption, single residency, unit quantum. *)
+let shrink_farm (s : farm_sample) yield =
+  if s.fm_jobs > 1 then yield { s with fm_jobs = s.fm_jobs - 1 };
+  if s.fm_crash then yield { s with fm_crash = false };
+  if s.fm_park > 0 then yield { s with fm_park = 0 };
+  if s.fm_active > 1 then yield { s with fm_active = s.fm_active - 1 };
+  if s.fm_quantum > 1 then yield { s with fm_quantum = s.fm_quantum - 1 }
+
+let arb_farm : farm_sample QCheck.arbitrary =
+  QCheck.make
+    ~print:(Fmt.str "%a" pp_farm)
+    ~shrink:shrink_farm
+    (let* fm_seed = G.int_bound 10_000 in
+     let* fm_jobs = G.int_range 2 5 in
+     let* fm_quantum = G.int_range 1 3 in
+     let* fm_active = G.int_range 1 3 in
+     let* fm_park = G.oneofl [ 0; 1; 2 ] in
+     let* fm_crash = G.bool in
+     G.return { fm_seed; fm_jobs; fm_quantum; fm_active; fm_park; fm_crash })

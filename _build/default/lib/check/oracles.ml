@@ -479,6 +479,43 @@ let jit_vs_interp ~count =
         reference.Vm.Engine.buffers jitted.Vm.Engine.buffers)
 
 (* ------------------------------------------------------------------ *)
+(* Oracle 9: farm-scheduled execution vs. solo (bitwise)               *)
+(* ------------------------------------------------------------------ *)
+
+(* The farm scheduler multiplexes jobs over the shared pool with pooled
+   (recycled) buffers, arbitrary quantum slicing, snapshot preemption and
+   injected rank crashes — and none of it may be observable in the
+   results: every job's final state (ghosts included, via the snapshot
+   comparison) must equal the same spec run solo, serially, through the
+   interpreter.  The workload keeps to the cheap 2D family; the model mix
+   is exercised by `pfgen serve --soak`. *)
+let farm_vs_solo ~count =
+  QCheck.Test.make ~name:"oracle9: farm-scheduled job = solo run (bitwise)" ~count
+    Gen.arb_farm
+    (fun s ->
+      let specs =
+        Serve.Workload.generate ~families:[ Serve.Workload.Curv2d ]
+          ~with_crash:s.Gen.fm_crash ~seed:s.Gen.fm_seed ~jobs:s.Gen.fm_jobs ()
+      in
+      let config =
+        {
+          (Serve.Scheduler.default_config ()) with
+          Serve.Scheduler.quantum = s.Gen.fm_quantum;
+          max_active = s.Gen.fm_active;
+          park_after = s.Gen.fm_park;
+        }
+      in
+      let mempool = Serve.Mempool.create () in
+      let stats = Serve.Scheduler.run ~config ~mempool specs in
+      stats.Serve.Scheduler.rejected = []
+      && List.length stats.Serve.Scheduler.results = List.length specs
+      && List.for_all
+           (fun (r : Serve.Scheduler.job_result) ->
+             Resilience.Snapshot.equal r.Serve.Scheduler.final
+               (Serve.Scheduler.run_solo r.Serve.Scheduler.r_spec))
+           stats.Serve.Scheduler.results)
+
+(* ------------------------------------------------------------------ *)
 (* The harness's test list                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -496,5 +533,6 @@ let all ~count =
       crash_restart_bitwise ~count:(max 2 (count / 8));
       pooled_vs_serial ~count:(max 3 (count / 3));
       jit_vs_interp ~count:(max 3 (count / 3));
+      farm_vs_solo ~count:(max 2 (count / 8));
     ]
   @ Obs_props.tests ~count

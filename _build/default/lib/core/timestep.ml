@@ -46,14 +46,19 @@ let field_list (g : Genkernels.t) =
 (** Build a simulation block and bind all kernels of the chosen variants.
     [rank] names the simulated rank this block belongs to (set by
     [Blocks.Forest]); it only affects which observability lane the block's
-    spans land on.  [num_domains] defaults to the pool width requested by
+    spans land on, and [lane] overrides that mapping directly (the farm
+    scheduler places each job on its own trace lane).  [alloc] supplies the
+    field-buffer storage — the hook [Serve.Mempool] uses to recycle arrays
+    across jobs.  [num_domains] defaults to the pool width requested by
     [PFGEN_DOMAINS]; [tile] fixes the cache-blocking shape of every kernel
     sweep (loop-depth indexed, [0] = full extent at that depth). *)
 let create ?(variant_phi = Full) ?(variant_mu = Full)
     ?(num_domains = Vm.Pool.default_domains ()) ?tile
-    ?(backend = Vm.Engine.default_backend ()) ?rank ?(exchange = default_exchange)
-    ?global_dims ?offset ~dims (gen : Genkernels.t) =
-  let block = Vm.Engine.make_block ~ghost:2 ?global_dims ?offset ~dims (field_list gen) in
+    ?(backend = Vm.Engine.default_backend ()) ?rank ?lane ?(exchange = default_exchange)
+    ?alloc ?global_dims ?offset ~dims (gen : Genkernels.t) =
+  let block =
+    Vm.Engine.make_block ~ghost:2 ?alloc ?global_dims ?offset ~dims (field_list gen)
+  in
   let bind k = Vm.Engine.bind k block in
   {
     gen;
@@ -63,7 +68,11 @@ let create ?(variant_phi = Full) ?(variant_mu = Full)
     num_domains;
     tile;
     backend;
-    lane = (match rank with None -> 0 | Some r -> Obs.Sink.rank_lane r);
+    lane =
+      (match (lane, rank) with
+      | Some l, _ -> l
+      | None, Some r -> Obs.Sink.rank_lane r
+      | None, None -> 0);
     exchange;
     phi_full = bind gen.phi_full;
     phi_stag = bind gen.phi_split.stag;

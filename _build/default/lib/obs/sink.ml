@@ -46,6 +46,12 @@ let lane () = !cur_lane
 (** Lane of simulated rank [r]. *)
 let rank_lane r = 1 + r
 
+(** Lane of farm job [j]: job lanes live in their own band above the rank
+    lanes, so a [pfgen serve] trace renders one track per job. *)
+let job_lane_base = 1000
+
+let job_lane j = job_lane_base + j
+
 let mu = Mutex.create ()
 let events_rev : event list ref = ref []
 

@@ -34,7 +34,10 @@ let args_json args =
   String.concat ","
     (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k (json_num v)) args)
 
-let lane_name pid = if pid = 0 then "local process" else Printf.sprintf "rank %d" (pid - 1)
+let lane_name pid =
+  if pid = 0 then "local process"
+  else if pid >= Sink.job_lane_base then Printf.sprintf "job %d" (pid - Sink.job_lane_base)
+  else Printf.sprintf "rank %d" (pid - 1)
 let slice_name tid = if tid = 0 then "main" else Printf.sprintf "domain %d" tid
 
 (* One metadata event per distinct pid (process_name) and per distinct

@@ -1,0 +1,1 @@
+lib/resilience/preempt.ml: Array Blocks List Obs Pfcore Snapshot Symbolic Vm

@@ -1,0 +1,1 @@
+lib/serve/mempool.ml: Array Fmt Hashtbl Obs

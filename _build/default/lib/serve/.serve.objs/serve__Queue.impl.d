@@ -1,0 +1,1 @@
+lib/serve/queue.ml: List Obs Printf Workload

@@ -1,0 +1,1 @@
+lib/serve/scheduler.ml: Array Atomic Blocks Hashtbl Int64 List Mempool Obs Pfcore Queue Resilience Stdlib Vm Workload

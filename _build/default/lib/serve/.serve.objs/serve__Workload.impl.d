@@ -1,0 +1,1 @@
+lib/serve/workload.ml: Array Fmt List Pfcore Philox Symbolic Vm

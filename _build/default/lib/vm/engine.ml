@@ -31,11 +31,11 @@ type block = {
   buffers : (Fieldspec.t * Buffer.t) list;
 }
 
-let make_block ?(ghost = 2) ?global_dims ?offset ~dims fields =
+let make_block ?(ghost = 2) ?alloc ?global_dims ?offset ~dims fields =
   let dim = Array.length dims in
   let global_dims = Option.value global_dims ~default:(Array.copy dims) in
   let offset = Option.value offset ~default:(Array.make dim 0) in
-  let buffers = List.map (fun f -> (f, Buffer.create ~ghost f dims)) fields in
+  let buffers = List.map (fun f -> (f, Buffer.create ~ghost ?alloc f dims)) fields in
   { dims; ghost; global_dims; offset; buffers }
 
 let buffer block (f : Fieldspec.t) =

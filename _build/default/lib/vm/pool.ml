@@ -127,8 +127,18 @@ let rec worker_loop i seen =
 
 (** Join all workers and reset the pool (registered via [at_exit]; also
     used by tests to force a cold start).  [spawned_total] is cumulative
-    and survives a shutdown. *)
+    and survives a shutdown.
+
+    Idempotent and safe to call concurrently: the whole teardown holds
+    [run_mu], so a second caller (e.g. a service layer's own [at_exit]
+    firing after the pool's registered one) serializes behind the first,
+    finds an empty worker list, and returns without raising.  Serializing
+    also closes a race in the old two-caller interleaving where the second
+    caller could reset [stop] before the first caller's workers had
+    observed it, parking them forever under the first caller's join. *)
 let shutdown () =
+  Mutex.lock pool.run_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock pool.run_mu) @@ fun () ->
   Mutex.lock pool.mu;
   pool.stop <- true;
   Condition.broadcast pool.work;

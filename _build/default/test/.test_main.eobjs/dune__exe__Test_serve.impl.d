@@ -1,0 +1,1 @@
+test/test_serve.ml: Alcotest Array List Mempool Pfcore Queue Resilience Scheduler Serve Vm Workload

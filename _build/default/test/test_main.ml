@@ -20,4 +20,5 @@ let () =
       ("obs", Test_obs.suite);
       ("pool", Test_pool.suite);
       ("jit", Test_jit.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -144,6 +144,24 @@ let test_domain_count_constant () =
       in
       Alcotest.(check (list int)) "stable pool lane ids 1..domains-1" [ 1; 2 ] tids)
 
+(* Shutdown is idempotent and at_exit-safe: the serve layer registers its
+   own at_exit teardown on top of the pool's, so a double (even racing)
+   shutdown must be a silent no-op, and the pool must respawn cleanly for
+   the next job.  Regression for the teardown race where a second caller
+   reset the stop flag before the first caller's workers observed it. *)
+let test_shutdown_idempotent () =
+  ignore (run_avg ~num_domains:3 ~dims:[| 8; 6 |] ());
+  Vm.Pool.shutdown ();
+  Vm.Pool.shutdown ();
+  Alcotest.(check int) "all workers torn down" 0 (Vm.Pool.live_workers ());
+  (* the pool respawns on demand after a shutdown *)
+  ignore (run_avg ~num_domains:3 ~dims:[| 8; 6 |] ());
+  Alcotest.(check bool) "pool respawned after shutdown" true (Vm.Pool.live_workers () > 0);
+  (* double shutdown again, concurrently with nothing running *)
+  Vm.Pool.shutdown ();
+  Vm.Pool.shutdown ();
+  ignore (run_avg ~num_domains:2 ~dims:[| 8; 6 |] ())
+
 (* ---- exception inside a tile ---- *)
 
 exception Boom
@@ -288,6 +306,8 @@ let suite =
       test_tile_larger_than_sweep;
     Alcotest.test_case "pool: domain count constant across 100 invocations" `Quick
       test_domain_count_constant;
+    Alcotest.test_case "pool: shutdown is idempotent and respawn-safe" `Quick
+      test_shutdown_idempotent;
     Alcotest.test_case "pool: exception in a tile (usable, balanced spans)" `Quick
       test_exception_in_tile;
     Alcotest.test_case "engine: pooled exception propagates cleanly" `Quick

@@ -1,0 +1,241 @@
+(* Simulation-farm battery: queue ordering and admission control, mempool
+   reuse accounting, preempt-snapshot-resume bitwise roundtrips, scheduler
+   end-to-end runs (completion, steady-state zero-alloc, shared tune
+   cache).  The farm-vs-solo differential oracle itself lives in
+   lib/check (oracle 9); these are the unit-level contracts. *)
+
+open Serve
+
+(* A minimal single-block spec for queue-level tests; only priority,
+   tenant and id matter to the queue. *)
+let mk ?(tenant = "amber") ?(priority = 0) id =
+  {
+    Workload.id;
+    tenant;
+    family = Workload.Curv2d;
+    size = 8;
+    steps = 2;
+    priority;
+    split = false;
+    backend = Vm.Engine.Interp;
+    ranks = 1;
+    crash_step = None;
+    seed = id;
+  }
+
+let no_residents = (fun (_ : string) -> 0)
+
+let drain q =
+  let rec go acc =
+    match Queue.next q ~resident_bytes:0 ~tenant_residents:no_residents with
+    | Some (spec, _) -> go (spec.Workload.id :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+(* ---- queue ordering ---- *)
+
+let test_queue_priority_fifo () =
+  let q = Queue.create () in
+  List.iteri
+    (fun id priority ->
+      match Queue.submit q (mk ~priority id) ~bytes:100 with
+      | Queue.Accepted -> ()
+      | Queue.Rejected r -> Alcotest.failf "unexpected rejection: %s" r)
+    [ 0; 2; 1; 2; 0; 1 ];
+  Alcotest.(check (list int)) "priority-descending, FIFO within a class" [ 1; 3; 2; 5; 0; 4 ]
+    (drain q);
+  Alcotest.(check bool) "drained" true (Queue.is_empty q)
+
+let test_queue_requeue_behind_peers () =
+  let q = Queue.create () in
+  ignore (Queue.submit q (mk ~priority:1 0) ~bytes:100);
+  ignore (Queue.submit q (mk ~priority:1 1) ~bytes:100);
+  (match Queue.next q ~resident_bytes:0 ~tenant_residents:no_residents with
+  | Some (spec, _) -> Alcotest.(check int) "FIFO head first" 0 spec.Workload.id
+  | None -> Alcotest.fail "queue unexpectedly empty");
+  (* a preempted job re-enters behind the already-pending peer of its class *)
+  Queue.requeue q (mk ~priority:1 0) ~bytes:100;
+  Alcotest.(check (list int)) "requeued job waits behind its peer" [ 1; 0 ] (drain q)
+
+(* ---- admission control ---- *)
+
+let test_queue_budget_and_quota () =
+  let q = Queue.create ~budget_bytes:1000 ~tenant_quota:1 () in
+  (match Queue.submit q (mk 0) ~bytes:2000 with
+  | Queue.Rejected _ -> ()
+  | Queue.Accepted -> Alcotest.fail "a job larger than the whole budget must be rejected");
+  ignore (Queue.submit q (mk ~tenant:"amber" ~priority:2 1) ~bytes:600);
+  ignore (Queue.submit q (mk ~tenant:"amber" ~priority:2 2) ~bytes:600);
+  ignore (Queue.submit q (mk ~tenant:"basalt" ~priority:0 3) ~bytes:300);
+  (* 600 bytes already resident: the high-priority 600-byte amber jobs no
+     longer fit the budget, so the small basalt job is handed out instead *)
+  (match Queue.next q ~resident_bytes:600 ~tenant_residents:no_residents with
+  | Some (spec, _) -> Alcotest.(check int) "budget skips to a job that fits" 3 spec.Workload.id
+  | None -> Alcotest.fail "expected the basalt job to fit");
+  (* budget free again, but amber is at its residency quota: nothing fits *)
+  let residents = function "amber" -> 1 | _ -> 0 in
+  (match Queue.next q ~resident_bytes:0 ~tenant_residents:residents with
+  | Some (spec, _) -> Alcotest.failf "job %d handed out over quota" spec.Workload.id
+  | None -> ());
+  (* with everything idle again, the parked amber jobs drain in FIFO order *)
+  Alcotest.(check (list int)) "parked jobs released in order" [ 1; 2 ] (drain q);
+  let s = Queue.stats q in
+  Alcotest.(check int) "submissions counted" 4 s.Queue.submitted;
+  Alcotest.(check int) "rejection counted" 1 s.Queue.rejected;
+  Alcotest.(check bool) "budget skips counted" true (s.Queue.parked_budget >= 2);
+  Alcotest.(check bool) "quota skips counted" true (s.Queue.parked_quota >= 2)
+
+let test_scheduler_rejects_oversized () =
+  let config =
+    { (Scheduler.default_config ()) with budget_bytes = 1; num_domains = 1 }
+  in
+  let specs = Workload.generate ~families:[ Workload.Curv2d ] ~with_crash:false ~seed:2 ~jobs:3 () in
+  let stats = Scheduler.run ~config ~mempool:(Mempool.create ()) specs in
+  Alcotest.(check int) "every job rejected at admission" 3
+    (List.length stats.Scheduler.rejected);
+  Alcotest.(check int) "no results" 0 (List.length stats.Scheduler.results)
+
+(* ---- mempool ---- *)
+
+let test_mempool_accounting () =
+  let mp = Mempool.create () in
+  let a = Mempool.acquire mp 10 in
+  let _b = Mempool.acquire mp 10 in
+  let s = Mempool.stats mp in
+  Alcotest.(check int) "two cold misses" 2 s.Mempool.misses;
+  Alcotest.(check int) "no hits yet" 0 s.Mempool.hits;
+  Alcotest.(check int) "160 live bytes" 160 s.Mempool.live_bytes;
+  Alcotest.(check int) "one size class" 1 s.Mempool.classes;
+  a.(3) <- 42.;
+  Mempool.release mp a;
+  let s = Mempool.stats mp in
+  Alcotest.(check int) "released bytes pooled" 80 s.Mempool.pooled_bytes;
+  Alcotest.(check int) "released bytes not live" 80 s.Mempool.live_bytes;
+  let c = Mempool.acquire mp 10 in
+  Alcotest.(check bool) "hit recycles the same array" true (c == a);
+  Alcotest.(check (float 0.)) "recycled array is zero-filled" 0. c.(3);
+  let s = Mempool.stats mp in
+  Alcotest.(check int) "one hit" 1 s.Mempool.hits;
+  Alcotest.(check int) "still two misses" 2 s.Mempool.misses;
+  let _d = Mempool.acquire mp 20 in
+  let s = Mempool.stats mp in
+  Alcotest.(check int) "second size class" 2 s.Mempool.classes;
+  Alcotest.(check int) "high water tracks the peak footprint" 320 s.Mempool.high_water_bytes;
+  Mempool.release mp [||] (* zero-length release is a no-op *);
+  Mempool.reset mp;
+  Alcotest.(check int) "reset drops the free lists" 0 (Mempool.stats mp).Mempool.pooled_bytes
+
+(* ---- preemption roundtrip ---- *)
+
+let test_preempt_roundtrip_bitwise () =
+  let gen = Scheduler.gen_of Workload.Curv2d in
+  let mp = Mempool.create () in
+  let mk_sim ?alloc () = Pfcore.Timestep.create ~num_domains:1 ?alloc ~dims:[| 12; 12 |] gen in
+  let sim = mk_sim ~alloc:(Mempool.alloc mp) () in
+  Workload.init_sim sim ~seed:5;
+  Pfcore.Timestep.prime sim;
+  Pfcore.Timestep.run sim ~steps:2;
+  let parked = Resilience.Preempt.park_single sim in
+  Resilience.Preempt.release_single ~free:(Mempool.release mp) sim;
+  Alcotest.(check bool) "released buffers are poisoned" true
+    (List.for_all
+       (fun (_, (b : Vm.Buffer.t)) -> Array.length b.Vm.Buffer.data = 0)
+       sim.Pfcore.Timestep.block.Vm.Engine.buffers);
+  Alcotest.(check int) "no storage leaked past the pool" 0 (Mempool.stats mp).Mempool.live_bytes;
+  (* resume into recycled storage and finish the run *)
+  let cold_misses = (Mempool.stats mp).Mempool.misses in
+  let sim2 = mk_sim ~alloc:(Mempool.alloc mp) () in
+  Alcotest.(check int) "resume allocates purely from the pool" cold_misses
+    ((Mempool.stats mp).Mempool.misses);
+  Resilience.Preempt.resume_single parked sim2;
+  Pfcore.Timestep.run sim2 ~steps:2;
+  (* the reference: the same job, never preempted *)
+  let solo = mk_sim () in
+  Workload.init_sim solo ~seed:5;
+  Pfcore.Timestep.prime solo;
+  Pfcore.Timestep.run solo ~steps:4;
+  Alcotest.(check bool) "park -> release -> resume is bitwise exact" true
+    (Resilience.Snapshot.equal
+       (Resilience.Snapshot.capture_single sim2)
+       (Resilience.Snapshot.capture_single solo))
+
+(* ---- scheduler end to end ---- *)
+
+let test_scheduler_completes_and_preempts () =
+  let specs = Workload.generate ~families:[ Workload.Curv2d ] ~with_crash:false ~seed:11 ~jobs:6 () in
+  let config =
+    { (Scheduler.default_config ()) with quantum = 1; max_active = 2; park_after = 1 }
+  in
+  let stats = Scheduler.run ~config ~mempool:(Mempool.create ()) specs in
+  Alcotest.(check int) "all jobs complete" 6 (List.length stats.Scheduler.results);
+  Alcotest.(check int) "nothing rejected" 0 (List.length stats.Scheduler.rejected);
+  Alcotest.(check bool) "quantum 1 + park-after 1 preempts" true (stats.Scheduler.preemptions > 0);
+  let latencies =
+    List.map (fun (r : Scheduler.job_result) -> r.Scheduler.latency_ns) stats.Scheduler.results
+  in
+  Alcotest.(check bool) "results are in completion order" true
+    (List.for_all2 ( <= ) latencies (List.tl latencies @ [ infinity ]));
+  List.iter
+    (fun (r : Scheduler.job_result) ->
+      Alcotest.(check bool) "enough quanta to cover the steps" true
+        (r.Scheduler.r_quanta >= r.Scheduler.r_spec.Workload.steps);
+      Alcotest.(check bool) "farm result = solo run (bitwise)" true
+        (Resilience.Snapshot.equal r.Scheduler.final (Scheduler.run_solo r.Scheduler.r_spec)))
+    stats.Scheduler.results
+
+let test_scheduler_steady_state_zero_alloc () =
+  let mp = Mempool.create () in
+  let specs = Workload.generate ~families:[ Workload.Curv2d ] ~with_crash:false ~seed:3 ~jobs:4 () in
+  let stats1 = Scheduler.run ~mempool:mp specs in
+  Alcotest.(check int) "warmup batch completes" 4 (List.length stats1.Scheduler.results);
+  let m1 = Mempool.stats mp in
+  let stats2 = Scheduler.run ~mempool:mp specs in
+  let m2 = stats2.Scheduler.mempool in
+  Alcotest.(check int) "steady state does zero fresh allocations" m1.Mempool.misses
+    m2.Mempool.misses;
+  Alcotest.(check bool) "steady state is served by the free lists" true
+    (m2.Mempool.hits > m1.Mempool.hits);
+  Alcotest.(check int) "all storage is back in the pool" 0 m2.Mempool.live_bytes
+
+let test_scheduler_shares_tune_cache () =
+  Vm.Tune.clear_cache ();
+  let specs = Workload.generate ~families:[ Workload.Curv2d ] ~with_crash:false ~seed:21 ~jobs:4 () in
+  let config =
+    { (Scheduler.default_config ()) with autotune = true; num_domains = 2 }
+  in
+  let hits0, misses0 = Vm.Tune.cache_stats () in
+  let stats = Scheduler.run ~config ~mempool:(Mempool.create ()) specs in
+  let hits1, misses1 = Vm.Tune.cache_stats () in
+  Alcotest.(check bool) "only the first job probes (one model family)" true
+    (misses1 - misses0 <= 2);
+  Alcotest.(check bool) "every further job hits the shared cache" true
+    (hits1 - hits0 >= 3);
+  let served =
+    List.length
+      (List.filter (fun (r : Scheduler.job_result) -> r.Scheduler.r_tune_hit)
+         stats.Scheduler.results)
+  in
+  Alcotest.(check bool) "at least all-but-one job served from the cache" true (served >= 3)
+
+let suite =
+  [
+    Alcotest.test_case "queue: priority order, FIFO within a class" `Quick
+      test_queue_priority_fifo;
+    Alcotest.test_case "queue: requeue lands behind same-priority peers" `Quick
+      test_queue_requeue_behind_peers;
+    Alcotest.test_case "queue: budget and tenant-quota admission" `Quick
+      test_queue_budget_and_quota;
+    Alcotest.test_case "scheduler: oversized jobs rejected at admission" `Quick
+      test_scheduler_rejects_oversized;
+    Alcotest.test_case "mempool: hit/miss/zero-fill/high-water accounting" `Quick
+      test_mempool_accounting;
+    Alcotest.test_case "preempt: park -> release -> resume bitwise roundtrip" `Quick
+      test_preempt_roundtrip_bitwise;
+    Alcotest.test_case "scheduler: completes, preempts, matches solo bitwise" `Quick
+      test_scheduler_completes_and_preempts;
+    Alcotest.test_case "scheduler: steady state does zero fresh allocs" `Quick
+      test_scheduler_steady_state_zero_alloc;
+    Alcotest.test_case "scheduler: jobs share the tune cache" `Quick
+      test_scheduler_shares_tune_cache;
+  ]

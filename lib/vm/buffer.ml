@@ -21,7 +21,11 @@ type t = {
 let storage_components (f : Fieldspec.t) =
   match f.kind with Fieldspec.Cell -> f.components | Fieldspec.Staggered -> f.components * f.dim
 
-let create ?(ghost = 1) (field : Fieldspec.t) dims =
+(** Build a padded buffer.  [alloc] supplies the backing storage (given the
+    element count, it must return a zero-filled array of exactly that
+    length) — the hook a memory pool uses to recycle arrays across
+    simulations.  Default: a fresh allocation. *)
+let create ?(ghost = 1) ?(alloc = fun len -> Array.make len 0.) (field : Fieldspec.t) dims =
   if Array.length dims <> field.dim then invalid_arg "Buffer.create: rank mismatch";
   let padded = Array.map (fun n -> n + (2 * ghost)) dims in
   let stride = Array.make field.dim 1 in
@@ -30,15 +34,10 @@ let create ?(ghost = 1) (field : Fieldspec.t) dims =
   done;
   let comp_stride = stride.(field.dim - 1) * padded.(field.dim - 1) in
   let components = storage_components field in
-  {
-    field;
-    dims = Array.copy dims;
-    ghost;
-    stride;
-    comp_stride;
-    components;
-    data = Array.make (comp_stride * components) 0.;
-  }
+  let data = alloc (comp_stride * components) in
+  if Array.length data <> comp_stride * components then
+    invalid_arg "Buffer.create: allocator returned an array of the wrong length";
+  { field; dims = Array.copy dims; ghost; stride; comp_stride; components; data }
 
 (** Linear index of the interior cell [coords] (which may extend into the
     ghost region when offsets do), component 0. *)
