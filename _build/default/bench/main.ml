@@ -907,6 +907,185 @@ let serve_bench () =
     [ 1; 2; 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* Overlap: sequential vs overlapped ghost exchange (paper §7)          *)
+(* ------------------------------------------------------------------ *)
+
+(* The overlap gates.  (1) Bitwise: the overlapped forest must end exactly
+   equal to the sequential one — unconditional, any machine.  (2) Hidden
+   fraction: the in-process substrate cannot hide wall-clock time, so the
+   enforced gate is model-calibrated — the measured μ interior compute per
+   step must cover at least half of the SuperMUC-NG-modeled axis-0 φ_dst
+   exchange time for the same block ([hidden = min(t_interior, t_comm) /
+   t_comm]).  The raw wall-clock overhead of the split schedule is
+   recorded alongside (not gated: it is pure scheduling cost here). *)
+let overlap_bench () =
+  section "Overlap: sequential vs overlapped phi_dst exchange (2-rank P1 forest)";
+  let gen = Lazy.force gen_p1 in
+  let block_dims = [| 12; 12; 12 |] and grid = [| 1; 1; 2 |] in
+  let steps = 3 in
+  let make ~overlap =
+    let forest = Blocks.Forest.create ~overlap ~grid ~block_dims gen in
+    Array.iter Pfcore.Simulation.init_lamellae forest.Blocks.Forest.sims;
+    Blocks.Forest.prime forest;
+    forest
+  in
+  let time_run forest =
+    let t0 = Unix.gettimeofday () in
+    Blocks.Forest.run forest ~steps;
+    (Unix.gettimeofday () -. t0) /. float_of_int steps
+  in
+  let seq = make ~overlap:false in
+  let t_seq = time_run seq in
+  let ovl = make ~overlap:true in
+  let t_ovl = time_run ovl in
+  (* gate 1: bitwise identity over every cell of both state fields *)
+  let fields = gen.Pfcore.Genkernels.fields in
+  let gd = seq.Blocks.Forest.global_dims in
+  let mismatches = ref 0 in
+  List.iter
+    (fun (f : Symbolic.Fieldspec.t) ->
+      for gz = 0 to gd.(2) - 1 do
+        for gy = 0 to gd.(1) - 1 do
+          for gx = 0 to gd.(0) - 1 do
+            for c = 0 to f.Symbolic.Fieldspec.components - 1 do
+              let a = Blocks.Forest.get seq f ~component:c [| gx; gy; gz |] in
+              let b = Blocks.Forest.get ovl f ~component:c [| gx; gy; gz |] in
+              if Int64.bits_of_float a <> Int64.bits_of_float b then incr mismatches
+            done
+          done
+        done
+      done)
+    [ fields.Pfcore.Model.phi_src; fields.Pfcore.Model.mu_src ];
+  (* measured interior compute per step: the work available to hide the
+     exchange behind (same per-rank block, solo, warmed) *)
+  let sim = Pfcore.Timestep.create ~dims:block_dims gen in
+  Pfcore.Timestep.smooth_fill sim.Pfcore.Timestep.block gen;
+  Pfcore.Timestep.prime sim;
+  Pfcore.Timestep.phase_phi sim;
+  Pfcore.Timestep.phase_mu_interior sim (* warmup *);
+  let t_interior = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    Pfcore.Timestep.phase_mu_interior sim;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !t_interior then t_interior := dt
+  done;
+  (* modeled axis-0 exchange for the same block on SuperMUC-NG at 10^5+
+     ranks: 2 slabs of the φ_dst ghost layer per rank *)
+  let phi_buf = Vm.Engine.buffer sim.Pfcore.Timestep.block fields.Pfcore.Model.phi_dst in
+  let axis0_bytes = 2 * 8 * Blocks.Ghost.slab_size phi_buf 0 in
+  let ranks = 131072 in
+  let t_comm =
+    Blocks.Netmodel.exchange_time_s Blocks.Netmodel.supermuc_ng
+      ~bytes:(float_of_int axis0_bytes) ~neighbors:2 ~ranks
+  in
+  let hidden = Float.min !t_interior t_comm /. t_comm in
+  let overhead = (t_ovl -. t_seq) /. t_seq *. 100. in
+  let threshold = 0.5 in
+  Fmt.pr "sequential step:       %8.2f ms@." (t_seq *. 1e3);
+  Fmt.pr "overlapped step:       %8.2f ms (%+.1f%% scheduling overhead, recorded)@."
+    (t_ovl *. 1e3) overhead;
+  Fmt.pr "bitwise mismatches:    %8d (gate = 0, ENFORCED)@." !mismatches;
+  Fmt.pr "mu interior compute:   %8.3f ms/step (measured)@." (!t_interior *. 1e3);
+  Fmt.pr "modeled axis-0 comm:   %8.3f ms/step (%d B, SuperMUC-NG at %d ranks)@."
+    (t_comm *. 1e3) axis0_bytes ranks;
+  Fmt.pr "exchange hidden:       %8.1f%% (gate >= %.0f%%, ENFORCED)@." (100. *. hidden)
+    (100. *. threshold);
+  metric "sequential_step_ms" (t_seq *. 1e3);
+  metric "overlapped_step_ms" (t_ovl *. 1e3);
+  metric "overlap_overhead_percent" overhead;
+  metric "bitwise_mismatches" (float_of_int !mismatches);
+  metric "mu_interior_ms_per_step" (!t_interior *. 1e3);
+  metric "axis0_exchange_bytes" (float_of_int axis0_bytes);
+  metric "modeled_axis0_comm_ms" (t_comm *. 1e3);
+  metric "model_ranks" (float_of_int ranks);
+  metric "exchange_hidden_fraction" hidden;
+  metric "gate_threshold" threshold;
+  metric "gate_passed" (if !mismatches = 0 && hidden >= threshold then 1. else 0.);
+  if !mismatches <> 0 then
+    gate_failures :=
+      Printf.sprintf "overlap: %d bitwise mismatch(es) between overlapped and sequential"
+        !mismatches
+      :: !gate_failures;
+  if hidden < threshold then
+    gate_failures :=
+      Printf.sprintf "overlap: exchange hidden fraction %.2f below the %.2f gate" hidden
+        threshold
+      :: !gate_failures
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: weak/strong projections calibrated on the measured overlap  *)
+(* ------------------------------------------------------------------ *)
+
+(* Labelled weak/strong-scaling projections out to SuperMUC-class rank
+   counts (paper Fig. 3), driven by [Blocks.Scaling] with the per-PE
+   update rate calibrated from a measured overlapped forest run of this
+   build — so the artifact tracks the repository's real kernel speed, not
+   a hard-coded constant.  Pure model, no gate: the numbers document where
+   the analytic ceiling sits for the measured single-core rate. *)
+let scaling_bench () =
+  section "Scaling: weak/strong projections calibrated on a measured overlapped run";
+  let gen = Lazy.force gen_p1 in
+  let block_dims = [| 12; 12; 12 |] and grid = [| 1; 1; 2 |] in
+  let forest = Blocks.Forest.create ~overlap:true ~grid ~block_dims gen in
+  Array.iter Pfcore.Simulation.init_lamellae forest.Blocks.Forest.sims;
+  Blocks.Forest.prime forest;
+  Blocks.Forest.run forest ~steps:1 (* warmup *);
+  let steps = 3 in
+  let t0 = Unix.gettimeofday () in
+  Blocks.Forest.run forest ~steps;
+  let dt = Unix.gettimeofday () -. t0 in
+  let ranks_measured = Array.length forest.Blocks.Forest.sims in
+  let cells_per_rank = float_of_int (Array.fold_left ( * ) 1 block_dims) in
+  let mlups_per_pe =
+    cells_per_rank *. float_of_int steps /. (dt /. float_of_int ranks_measured) /. 1e6
+    /. float_of_int ranks_measured
+  in
+  let fields_bytes_per_cell =
+    List.fold_left
+      (fun acc (f : Symbolic.Fieldspec.t) -> acc + (8 * f.Symbolic.Fieldspec.components))
+      0
+      (Pfcore.Timestep.field_list gen)
+  in
+  let cfg overlap =
+    {
+      Blocks.Scaling.net = Blocks.Netmodel.supermuc_ng;
+      mlups_per_pe;
+      fields_bytes_per_cell;
+      ghost_width = 2;
+      overlap;
+    }
+  in
+  Fmt.pr "calibration: measured %.3f MLUP/s per PE (%d-rank overlapped forest), %d B/cell@."
+    mlups_per_pe ranks_measured fields_bytes_per_cell;
+  metric "calibrated_mlups_per_pe" mlups_per_pe;
+  metric "fields_bytes_per_cell" (float_of_int fields_bytes_per_cell);
+  let weak_ranks = [ 16; 1024; 16384; 131072; 262144 ] in
+  let weak_dims = [| 60; 60; 60 |] in
+  Fmt.pr "@.weak scaling, 60^3 cells/rank (MLUP/s per PE):@.";
+  Fmt.pr "%-10s %14s %14s@." "ranks" "overlap" "no overlap";
+  List.iter
+    (fun ranks ->
+      let ov = Blocks.Scaling.weak (cfg true) ~block_dims:weak_dims ~ranks in
+      let nov = Blocks.Scaling.weak (cfg false) ~block_dims:weak_dims ~ranks in
+      Fmt.pr "%-10d %14.3f %14.3f@." ranks ov nov;
+      metric (Printf.sprintf "weak_overlap_mlups_per_pe@%d" ranks) ov;
+      metric (Printf.sprintf "weak_noverlap_mlups_per_pe@%d" ranks) nov)
+    weak_ranks;
+  let strong_ranks = [ 48; 768; 12288; 49152; 147456 ] in
+  let strong_dims = [| 512; 256; 256 |] in
+  Fmt.pr "@.strong scaling, %dx%dx%d global (overlap on):@." strong_dims.(0) strong_dims.(1)
+    strong_dims.(2);
+  Fmt.pr "%-10s %14s %14s@." "ranks" "MLUP/s per PE" "steps/s";
+  List.iter
+    (fun ranks ->
+      let per_pe, steps_s = Blocks.Scaling.strong (cfg true) ~global_dims:strong_dims ~ranks in
+      Fmt.pr "%-10d %14.3f %14.2f@." ranks per_pe steps_s;
+      metric (Printf.sprintf "strong_overlap_mlups_per_pe@%d" ranks) per_pe;
+      metric (Printf.sprintf "strong_steps_per_s@%d" ranks) steps_s)
+    strong_ranks
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let artifacts =
@@ -926,6 +1105,8 @@ let () =
       ("pool", pool_bench);
       ("jit", jit_bench);
       ("serve", serve_bench);
+      ("overlap", overlap_bench);
+      ("scaling", scaling_bench);
     ]
   in
   (* each artifact prints its table and then dumps the metrics it

@@ -190,10 +190,10 @@ let decomposition ~dim ~size ~ranks =
   let block_dims = Array.init dim (fun d -> if d = 0 then size / ranks else size) in
   (grid, block_dims)
 
-let build_forest ?num_domains ?tile ?backend ~split ~grid ~block_dims g =
+let build_forest ?num_domains ?tile ?backend ?overlap ~split ~grid ~block_dims g =
   let forest =
-    Blocks.Forest.create ~variant_phi:(variant_of split) ?num_domains ?tile ?backend ~grid
-      ~block_dims g
+    Blocks.Forest.create ~variant_phi:(variant_of split) ?num_domains ?tile ?backend
+      ?overlap ~grid ~block_dims g
   in
   Array.iter Pfcore.Simulation.init_lamellae forest.Blocks.Forest.sims;
   Blocks.Forest.prime forest;
@@ -231,10 +231,11 @@ let forest_phi_mismatches (g : Pfcore.Genkernels.t) a b =
   walk 0;
   !bad
 
-let simulate params size steps ranks split domains tile backend crash_at ckpt_every
+let simulate params size steps ranks split overlap domains tile backend crash_at ckpt_every
     fault_seed trace metrics_out =
   let g = generate params false in
   let dim = params.Pfcore.Params.dim in
+  if overlap && ranks <= 1 then failwith "--overlap requires --ranks > 1";
   let observing = trace <> None || metrics_out <> None in
   if observing then begin
     (* arm the observability sink before any block is built so priming
@@ -248,7 +249,7 @@ let simulate params size steps ranks split domains tile backend crash_at ckpt_ev
     if ranks > 1 then begin
       let grid, block_dims = decomposition ~dim ~size ~ranks in
       let forest =
-        build_forest ?num_domains:domains ?tile ?backend ~split ~grid ~block_dims g
+        build_forest ?num_domains:domains ?tile ?backend ~overlap ~split ~grid ~block_dims g
       in
       (match crash_at with
       | None -> Blocks.Forest.run forest ~steps
@@ -308,9 +309,12 @@ let simulate params size steps ranks split domains tile backend crash_at ckpt_ev
     Vm.Engine.backend_label
       (match backend with Some b -> b | None -> Vm.Engine.default_backend ())
   in
-  Fmt.pr "%d steps of %s on %d^%d (%d rank%s, %s phi kernel, %s backend) in %.2f s = %.3f MLUP/s@."
+  Fmt.pr
+    "%d steps of %s on %d^%d (%d rank%s%s, %s phi kernel, %s backend) in %.2f s = %.3f \
+     MLUP/s@."
     steps params.Pfcore.Params.name size dim ranks
     (if ranks > 1 then "s" else "")
+    (if overlap then ", overlapped exchange" else "")
     (if split then "split" else "full")
     backend_name dt
     (cells *. float_of_int steps /. dt /. 1e6);
@@ -345,6 +349,9 @@ let steps_arg = Arg.(value & opt int 50 & info [ "steps" ] ~doc:"Time steps to r
 let ranks_arg = Arg.(value & opt int 1 & info [ "ranks" ] ~doc:"Simulated MPI ranks (1D decomposition).")
 let split_arg = Arg.(value & flag & info [ "split" ] ~doc:"Use the split (staggered-precompute) phi kernel variant.")
 
+let overlap_arg =
+  Arg.(value & flag & info [ "overlap" ] ~doc:"Overlap the phi_dst ghost exchange with the mu interior sweep (IR-derived inner/outer kernel split; bitwise identical to the sequential exchange). Requires --ranks > 1.")
+
 let crash_arg =
   Arg.(value & opt (some int) None & info [ "crash-at" ] ~doc:"Inject faults (drop/delay/duplicate) and crash a rank entering step $(docv); the run recovers by rollback and is verified bitwise against an undisturbed twin. Requires --ranks > 1." ~docv:"K")
 
@@ -364,8 +371,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a simulation with the generated kernels (optionally on simulated MPI ranks, optionally under fault injection with crash recovery, optionally recording a trace and metrics).")
     Term.(const simulate $ model_arg $ size_arg $ steps_arg $ ranks_arg $ split_arg
-          $ domains_arg $ tile_arg $ backend_arg $ crash_arg $ ckpt_every_arg
-          $ fault_seed_arg $ trace_arg $ metrics_arg)
+          $ overlap_arg $ domains_arg $ tile_arg $ backend_arg $ crash_arg
+          $ ckpt_every_arg $ fault_seed_arg $ trace_arg $ metrics_arg)
 
 (* ---- checkpoint / resume ---- *)
 

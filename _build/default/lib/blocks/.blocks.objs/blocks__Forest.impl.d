@@ -1,1 +1,1 @@
-lib/blocks/forest.ml: Array Fieldspec Ghost Mpisim Obs Pfcore Symbolic Vm
+lib/blocks/forest.ml: Array Fieldspec Ghost List Mpisim Obs Pfcore Symbolic Vm

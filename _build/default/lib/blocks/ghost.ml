@@ -99,35 +99,24 @@ exception Exchange_failed of (int * int * int)
     Exactly-once, in-order delivery: under any plan without a crash this
     returns precisely the payloads the fault-free run would see, in the
     same order — which is what makes faulty runs bitwise identical. *)
-let fetch ?(max_retries = 10) comm ~src ~dst ~tag =
-  let rec attempt retries backoff =
-    Mpisim.release_due comm;
-    match Mpisim.recv_expected comm ~src ~dst ~tag with
-    | Some payload ->
-      (* a fetch that needed retries healed a fault in place *)
-      if retries > 0 then begin
-        Obs.Metrics.incr (Obs.Metrics.counter "net.faults_healed");
-        Obs.Span.instant ~cat:"comm"
-          ~args:[ ("retries", float_of_int retries) ]
-          (Printf.sprintf "healed:%d->%d tag %d" src dst tag)
-      end;
-      payload
-    | None ->
-      if retries >= max_retries then
-        if Mpisim.is_crashed comm src then raise (Rank_crashed src)
-        else raise (Exchange_failed (src, dst, tag))
-      else begin
-        Mpisim.advance_clock comm backoff;
-        (match
-           Mpisim.request_retransmit comm ~src ~dst ~tag
-             ~seq:(Mpisim.expected_seq comm ~src ~dst ~tag)
-         with
-        | `Crashed -> raise (Rank_crashed src)
-        | `Sent | `Lost -> ());
-        attempt (retries + 1) (2 * backoff)
-      end
-  in
-  attempt 0 1
+(* Drive a posted request to completion, translating the substrate's
+   healing outcome into this module's exception vocabulary and accounting
+   for in-place fault healing. *)
+let await ?max_retries comm ~src ~dst ~tag req =
+  match Mpisim.wait ?max_retries comm req with
+  | `Done retries ->
+    if retries > 0 then begin
+      Obs.Metrics.incr (Obs.Metrics.counter "net.faults_healed");
+      Obs.Span.instant ~cat:"comm"
+        ~args:[ ("retries", float_of_int retries) ]
+        (Printf.sprintf "healed:%d->%d tag %d" src dst tag)
+    end;
+    Mpisim.payload req
+  | `Crashed r -> raise (Rank_crashed r)
+  | `Lost key -> raise (Exchange_failed key)
+
+let fetch ?max_retries comm ~src ~dst ~tag =
+  await ?max_retries comm ~src ~dst ~tag (Mpisim.irecv comm ~src ~dst ~tag)
 
 (** Pack-and-send one slab (sequence number assigned by the substrate). *)
 let send_slab comm ~src ~dst ~tag buf ~axis ~side =
@@ -136,6 +125,37 @@ let send_slab comm ~src ~dst ~tag buf ~axis ~side =
 (** Receive-and-unpack one slab through the self-healing protocol. *)
 let recv_slab ?max_retries comm ~src ~dst ~tag buf ~axis ~side =
   unpack buf ~axis ~side (fetch ?max_retries comm ~src ~dst ~tag)
+
+(* ------------------------------------------------------------------ *)
+(* Nonblocking slab exchange (communication overlap, paper §7)          *)
+(* ------------------------------------------------------------------ *)
+
+(** Pack-and-post one slab send; completes immediately (eager protocol). *)
+let isend_slab comm ~src ~dst ~tag buf ~axis ~side =
+  ignore (Mpisim.isend comm ~src ~dst ~tag (pack buf ~axis ~side))
+
+(** A pending slab receive: the request plus where to unpack it. *)
+type pending = {
+  req : Mpisim.request;
+  p_src : int;
+  p_dst : int;
+  p_tag : int;
+  p_buf : Vm.Buffer.t;
+  p_axis : int;
+  p_side : side;
+}
+
+(** Post a slab receive without consuming anything. *)
+let irecv_slab comm ~src ~dst ~tag buf ~axis ~side =
+  { req = Mpisim.irecv comm ~src ~dst ~tag; p_src = src; p_dst = dst;
+    p_tag = tag; p_buf = buf; p_axis = axis; p_side = side }
+
+(** Complete a pending slab receive through the self-healing protocol and
+    unpack it into the ghost layer. *)
+let await_slab ?max_retries comm pending =
+  unpack pending.p_buf ~axis:pending.p_axis ~side:pending.p_side
+    (await ?max_retries comm ~src:pending.p_src ~dst:pending.p_dst
+       ~tag:pending.p_tag pending.req)
 
 let () =
   Printexc.register_printer (function

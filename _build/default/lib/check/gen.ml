@@ -484,3 +484,112 @@ let arb_farm : farm_sample QCheck.arbitrary =
      let* fm_park = G.oneofl [ 0; 1; 2 ] in
      let* fm_crash = G.bool in
      G.return { fm_seed; fm_jobs; fm_quantum; fm_active; fm_park; fm_crash })
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 10: overlapped exchange vs. sequential                       *)
+(* ------------------------------------------------------------------ *)
+
+type overlap_sample = {
+  ov_seed : int;        (** initial-condition seed *)
+  ov_p2 : bool;         (** false = P1, true = P2 *)
+  ov_split : bool;      (** kernel variant for both families *)
+  ov_n : int;           (** cubic block edge per rank *)
+  ov_grid : int array;  (** ranks per axis *)
+  ov_tile : int array;  (** loop-depth tile shape; 0 = full extent *)
+  ov_domains : int;     (** pool width of the overlapped run *)
+  ov_jit : bool;        (** overlapped run uses the JIT backend *)
+  ov_steps : int;
+  ov_plan_seed : int;   (** keys the Philox fault-decision streams *)
+  ov_drop : float;
+  ov_delay : float;
+  ov_dup : float;
+  ov_crash : bool;      (** kill a rank mid-run; recovery must roll back *)
+  ov_crash_rank : int;
+  ov_crash_step : int;
+  ov_ckpt_every : int;
+}
+
+let pp_overlap ppf (s : overlap_sample) =
+  Fmt.pf ppf
+    "%s %s, %d^3 blocks on %s grid, tile %s, %d domain(s), %s backend, %d step(s), \
+     seed %d, plan %d (drop %.2f delay %.2f dup %.2f)%s"
+    (if s.ov_p2 then "P2" else "P1")
+    (if s.ov_split then "split" else "full")
+    s.ov_n
+    (String.concat "x" (Array.to_list (Array.map string_of_int s.ov_grid)))
+    (String.concat "x" (Array.to_list (Array.map string_of_int s.ov_tile)))
+    s.ov_domains
+    (if s.ov_jit then "jit" else "interp")
+    s.ov_steps s.ov_seed s.ov_plan_seed s.ov_drop s.ov_delay s.ov_dup
+    (if s.ov_crash then
+       Printf.sprintf ", rank %d dies at step %d, checkpoint every %d" s.ov_crash_rank
+         s.ov_crash_step s.ov_ckpt_every
+     else "")
+
+(* Shrink toward one clean interpreted step on the smallest grid. *)
+let shrink_overlap (s : overlap_sample) yield =
+  if s.ov_crash then yield { s with ov_crash = false };
+  if s.ov_drop > 0. then yield { s with ov_drop = 0. };
+  if s.ov_delay > 0. then yield { s with ov_delay = 0. };
+  if s.ov_dup > 0. then yield { s with ov_dup = 0. };
+  if s.ov_jit then yield { s with ov_jit = false };
+  if (not s.ov_crash) && s.ov_steps > 1 then yield { s with ov_steps = s.ov_steps - 1 };
+  if s.ov_n > 4 then yield { s with ov_n = s.ov_n - 1 };
+  Array.iteri
+    (fun d x ->
+      if x > 0 then begin
+        let t = Array.copy s.ov_tile in
+        t.(d) <- 0;
+        yield { s with ov_tile = t }
+      end)
+    s.ov_tile;
+  if s.ov_domains > 1 then yield { s with ov_domains = 1 };
+  if Array.fold_left ( * ) 1 s.ov_grid > 2 then yield { s with ov_grid = [| 2; 1; 1 |] };
+  if s.ov_p2 then yield { s with ov_p2 = false };
+  if s.ov_split then yield { s with ov_split = false }
+
+let arb_overlap : overlap_sample QCheck.arbitrary =
+  QCheck.make
+    ~print:(Fmt.str "%a" pp_overlap)
+    ~shrink:shrink_overlap
+    (let* ov_seed = G.int_bound 10_000 in
+     let* ov_p2 = G.bool in
+     let* ov_split = G.bool in
+     let* ov_n = G.int_range 4 6 in
+     let* ov_grid = G.oneofl [ [| 2; 1; 1 |]; [| 1; 2; 1 |]; [| 1; 1; 2 |]; [| 2; 2; 1 |] ] in
+     (* degenerate shapes included on purpose: interior/shell tiles must be
+        bitwise-stable for every decomposition, not just the fast ones *)
+     let* ov_tile = G.array_size (G.return 3) (G.oneofl [ 0; 1; 2; 3; 5 ]) in
+     let* ov_domains = G.oneofl [ 1; 2; 4 ] in
+     let* ov_jit = G.bool in
+     let* ov_plan_seed = G.int_bound 1000 in
+     let* ov_drop = G.oneofl [ 0.; 0.05; 0.1 ] in
+     let* ov_delay = G.oneofl [ 0.; 0.08; 0.15 ] in
+     let* ov_dup = G.oneofl [ 0.; 0.05; 0.1 ] in
+     let* ov_crash = G.bool in
+     let* ov_crash_step = G.int_range 1 2 in
+     let* tail = G.int_range 1 2 in
+     let* ov_ckpt_every = G.int_range 1 2 in
+     let* steps = G.int_range 1 3 in
+     let* crash_rank_u = G.int_bound 1000 in
+     let ranks = Array.fold_left ( * ) 1 ov_grid in
+     G.return
+       {
+         ov_seed;
+         ov_p2;
+         ov_split;
+         ov_n;
+         ov_grid;
+         ov_tile;
+         ov_domains;
+         ov_jit;
+         ov_steps = (if ov_crash then ov_crash_step + tail else steps);
+         ov_plan_seed;
+         ov_drop;
+         ov_delay;
+         ov_dup;
+         ov_crash;
+         ov_crash_rank = crash_rank_u mod ranks;
+         ov_crash_step;
+         ov_ckpt_every;
+       })

@@ -516,6 +516,110 @@ let farm_vs_solo ~count =
            stats.Serve.Scheduler.results)
 
 (* ------------------------------------------------------------------ *)
+(* Oracle 10: overlapped exchange = sequential exchange (bitwise)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Smooth Philox-keyed initial conditions over *global* cell indices, so
+   every run of the same global domain starts bitwise identically
+   regardless of the rank decomposition. *)
+let init_overlap_fields (sim : Pfcore.Timestep.t) ~seed =
+  let gen = sim.Pfcore.Timestep.gen in
+  let block = sim.Pfcore.Timestep.block in
+  let fields = gen.Pfcore.Genkernels.fields in
+  let n = float_of_int gen.Pfcore.Genkernels.params.Pfcore.Params.n_phases in
+  let init (f : Fieldspec.t) ~slot ~base ~amp =
+    let buf = Vm.Engine.buffer block f in
+    let off = block.Vm.Engine.offset in
+    let gd = block.Vm.Engine.global_dims in
+    Vm.Buffer.init buf (fun coords comp ->
+        let cell = ref 0 in
+        for d = Array.length gd - 1 downto 0 do
+          cell := (!cell * gd.(d)) + coords.(d) + off.(d)
+        done;
+        base +. (amp *. Philox.symmetric ~cell:!cell ~step:seed ~slot:(slot + comp)))
+  in
+  init fields.Pfcore.Model.phi_src ~slot:3 ~base:(1. /. n) ~amp:0.01;
+  if Pfcore.Params.n_mu gen.Pfcore.Genkernels.params > 0 then
+    init fields.Pfcore.Model.mu_src ~slot:23 ~base:0.1 ~amp:0.01
+
+let make_overlap_forest ~overlap ~backend ~num_domains ~tile (s : Gen.overlap_sample) =
+  let gen = Lazy.force (if s.Gen.ov_p2 then gen_p2_pool else gen_p1_pool) in
+  let variant = if s.Gen.ov_split then Pfcore.Timestep.Split else Pfcore.Timestep.Full in
+  let block_dims =
+    Array.make gen.Pfcore.Genkernels.params.Pfcore.Params.dim s.Gen.ov_n
+  in
+  let forest =
+    Blocks.Forest.create ~variant_phi:variant ~variant_mu:variant ~num_domains ?tile
+      ~backend ~overlap ~grid:s.Gen.ov_grid ~block_dims gen
+  in
+  Array.iter
+    (fun sim -> init_overlap_fields sim ~seed:s.Gen.ov_seed)
+    forest.Blocks.Forest.sims;
+  Blocks.Forest.prime forest;
+  forest
+
+(* The tentpole claim (paper §7): hiding the φ_dst exchange behind the μ
+   interior sweep — the IR-derived inner/outer kernel split — is purely a
+   scheduling transformation.  Over random P1/P2 models, variants, grids,
+   tiles, pool widths and backends, and under arbitrary drop / delay /
+   duplicate / rank-crash fault plans (healed in place or rolled back by
+   the recovery driver), the overlapped forest must end bitwise identical
+   to the sequential-exchange, serial, interpreted reference. *)
+let overlapped_vs_sequential ~count =
+  QCheck.Test.make
+    ~name:"oracle10: overlapped exchange = sequential exchange (bitwise)" ~count
+    Gen.arb_overlap
+    (fun s ->
+      let reference =
+        make_overlap_forest ~overlap:false ~backend:Vm.Engine.Interp ~num_domains:1
+          ~tile:None s
+      in
+      Blocks.Forest.run reference ~steps:s.Gen.ov_steps;
+      let overlapped =
+        make_overlap_forest ~overlap:true
+          ~backend:(if s.Gen.ov_jit then Vm.Engine.Jit else Vm.Engine.Interp)
+          ~num_domains:s.Gen.ov_domains ~tile:(Some s.Gen.ov_tile) s
+      in
+      let has_faults = s.Gen.ov_drop > 0. || s.Gen.ov_delay > 0. || s.Gen.ov_dup > 0. in
+      if has_faults || s.Gen.ov_crash then
+        Blocks.Mpisim.set_fault_plan overlapped.Blocks.Forest.comm
+          (Some
+             {
+               Blocks.Faultplan.seed = s.Gen.ov_plan_seed;
+               drop = s.Gen.ov_drop;
+               delay = s.Gen.ov_delay;
+               duplicate = s.Gen.ov_dup;
+               max_delay = 3;
+               crash =
+                 (if s.Gen.ov_crash then Some (s.Gen.ov_crash_rank, s.Gen.ov_crash_step)
+                  else None);
+             });
+      if s.Gen.ov_crash then
+        ignore
+          (Resilience.Recovery.run_protected ~every:s.Gen.ov_ckpt_every
+             ~steps:s.Gen.ov_steps overlapped)
+      else Blocks.Forest.run overlapped ~steps:s.Gen.ov_steps;
+      let gen = Lazy.force (if s.Gen.ov_p2 then gen_p2_pool else gen_p1_pool) in
+      let fields = gen.Pfcore.Genkernels.fields in
+      let gd = reference.Blocks.Forest.global_dims in
+      let check (f : Fieldspec.t) =
+        let ok = ref true in
+        for gz = 0 to gd.(2) - 1 do
+          for gy = 0 to gd.(1) - 1 do
+            for gx = 0 to gd.(0) - 1 do
+              for c = 0 to f.Fieldspec.components - 1 do
+                let a = Blocks.Forest.get reference f ~component:c [| gx; gy; gz |] in
+                let b = Blocks.Forest.get overlapped f ~component:c [| gx; gy; gz |] in
+                if not (bits_equal a b) then ok := false
+              done
+            done
+          done
+        done;
+        !ok
+      in
+      check fields.Pfcore.Model.phi_src && check fields.Pfcore.Model.mu_src)
+
+(* ------------------------------------------------------------------ *)
 (* The harness's test list                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -534,5 +638,6 @@ let all ~count =
       pooled_vs_serial ~count:(max 3 (count / 3));
       jit_vs_interp ~count:(max 3 (count / 3));
       farm_vs_solo ~count:(max 2 (count / 8));
+      overlapped_vs_sequential ~count:(max 2 (count / 8));
     ]
   @ Obs_props.tests ~count

@@ -136,6 +136,58 @@ let phase_mu t =
             run_kernel t main))
   | Split, _, _, _ -> assert false
 
+(* ------------------------------------------------------------------ *)
+(* Region-split μ phase (communication overlap, paper §7)              *)
+(* ------------------------------------------------------------------ *)
+
+let run_kernel_region t region bound =
+  Vm.Engine.run ~num_domains:t.num_domains ?tile:t.tile ~backend:t.backend ~region
+    ~step:t.step_count ~params:(runtime_params t) bound
+
+(** The μ kernel chain in execution order, each annotated with its
+    {e cumulative} stencil halo: kernel [k] of the chain reads the outputs
+    of kernels before it, so a cell of [k] is independent of ghost values
+    only when it sits [Σ_{j≤k} ghost_j] cells inside the owned region.
+    Running every chain position's interior at its cumulative halo keeps
+    the interior pass bitwise identical to the sequential sweep — the split
+    variant's main kernel never reads a staggered value the interior pass
+    did not already compute. *)
+let mu_chain t =
+  let chain =
+    match (t.variant_mu, t.mu_full, t.mu_stag, t.mu_main) with
+    | _, None, _, _ -> []
+    | Full, Some mu, _, _ -> [ mu ]
+    | Split, _, Some stag, Some main -> [ stag; main ]
+    | Split, _, _, _ -> assert false
+  in
+  let halo = ref 0 in
+  List.map
+    (fun b ->
+      halo := !halo + Vm.Engine.stencil_halo b;
+      (b, !halo))
+    chain
+
+(** Deep-interior μ pass: every cell provably independent of the φ_dst
+    ghost layer, so it may run while the ghost exchange is in flight. *)
+let phase_mu_interior t =
+  match mu_chain t with
+  | [] -> ()
+  | chain ->
+    in_lane t (fun () ->
+        Obs.Span.with_ ~cat:"step" "phase:mu.interior" (fun () ->
+            List.iter (fun (b, h) -> run_kernel_region t (Vm.Engine.Interior h) b) chain))
+
+(** Halo-shell μ pass: the complement of {!phase_mu_interior}; must run
+    after the exchange completes.  Kernels run in chain order, so every
+    staggered value a main-kernel shell cell reads is already final. *)
+let phase_mu_shell t =
+  match mu_chain t with
+  | [] -> ()
+  | chain ->
+    in_lane t (fun () ->
+        Obs.Span.with_ ~cat:"step" "phase:mu.shell" (fun () ->
+            List.iter (fun (b, h) -> run_kernel_region t (Vm.Engine.Shell h) b) chain))
+
 (** Phase 3: src ↔ dst swap and time advance (Algorithm 1, line 5). *)
 let finish t =
   let f = t.gen.Genkernels.fields in
@@ -223,6 +275,10 @@ type plan = {
   plan_domains : int;
   plan_tile : int array option;
   plan_backend : Vm.Engine.backend;  (** follows the dominant family, like the tile *)
+  plan_overlap : bool;
+      (** overlap the φ_dst exchange with the μ interior sweep — only
+          meaningful when the model has a μ family to hide the exchange
+          behind, so [false] for single-field models *)
 }
 
 (** Tune both kernel families of [gen] on a [probe_n]^dim block.  Decisions
@@ -247,6 +303,7 @@ let autotune ?machine ?(domains = Vm.Pool.default_domains ()) ?(probe_n = 10)
     plan_domains = domains;
     plan_tile = (match mu with Some m -> m.Vm.Tune.tile | None -> phi.Vm.Tune.tile);
     plan_backend = (match mu with Some m -> m.Vm.Tune.backend | None -> phi.Vm.Tune.backend);
+    plan_overlap = (match mu with Some m -> m.Vm.Tune.overlap | None -> false);
   }
 
 let variant_of_choice (c : Vm.Tune.choice) = if c.Vm.Tune.variant_label = "split" then Split else Full

@@ -357,6 +357,37 @@ let sweep_cells (b : bound) =
   done;
   !total
 
+(* ------------------------------------------------------------------ *)
+(* Inner/outer kernel split                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Which part of the sweep to execute.  [Interior halo] covers only cells
+    whose stencil reads — up to [halo] cells in every direction — stay
+    inside the block's owned region, so the sweep is independent of ghost
+    values and may run while a ghost exchange is in flight; [Shell halo] is
+    the complement, swept after the exchange completes.  [Whole] is the
+    classic full sweep.  [Interior h] ∪ [Shell h] visits every sweep cell
+    exactly once, so splitting a sweep is bitwise invisible (oracle 10). *)
+type region = Whole | Interior of int | Shell of int
+
+(** The kernel's own stencil footprint, straight from the IR: the halo
+    width at which an interior cell of this kernel reads no ghost value.
+    Chained kernels (a split variant's staggered pass feeding its main
+    pass) must accumulate the footprints along the chain — see
+    [Core.Timestep.mu_chain]. *)
+let stencil_halo (b : bound) = b.kernel.Ir.Kernel.ghost
+
+(* Interior bounds in loop-depth space: shrink each depth's sweep range so
+   reads at ± halo stay inside the owned cells [0, dims - 1] of the
+   depth's spatial axis (staggered sweeps extend to [dims], which the
+   [min] clamps away). *)
+let interior_ranges (b : bound) ~(ranges : (int * int) array) ~halo =
+  let order = b.lowered.Ir.Lower.loop_order in
+  Array.mapi
+    (fun d (rlo, rhi) ->
+      (max rlo halo, min rhi (b.block.dims.(order.(d)) - 1 - halo)))
+    ranges
+
 (* The sweep skeleton, parameterized over [wrap], which brackets each pool
    lane's share of the tiles ([lane] 0 is the coordinating domain, [i > 0]
    the i-th persistent pool worker).  Instrumented and plain execution
@@ -367,7 +398,8 @@ let sweep_cells (b : bound) =
    coordinates (they are recomputed at every outer-loop iteration even in a
    serial sweep), so recomputing them per tile changes nothing — which is
    exactly why tiled, pooled execution is bitwise identical to serial. *)
-let run_tiled ?wrap ?(backend = Interp) ~num_domains ~tile ~step ~params (b : bound) =
+let run_tiled ?wrap ?(backend = Interp) ?(region = Whole) ~num_domains ~tile ~step ~params
+    (b : bound) =
   let dim = b.kernel.Ir.Kernel.dim in
   let range = sweep_range b in
   let order = b.lowered.Ir.Lower.loop_order in
@@ -386,7 +418,14 @@ let run_tiled ?wrap ?(backend = Interp) ~num_domains ~tile ~step ~params (b : bo
         Some (Array.init dim (fun d -> if d = 0 then chunk else 0))
       end
   in
-  let tiles = Schedule.make ~ranges ?shape () in
+  let tiles =
+    match region with
+    | Whole -> Schedule.make ~ranges ?shape ()
+    | Interior halo | Shell halo ->
+      let interior = interior_ranges b ~ranges ~halo in
+      let inner, shell = Schedule.split_halo ~ranges ~interior ?shape () in
+      (match region with Interior _ -> inner | _ -> shell)
+  in
   let exec =
     match backend with
     | Interp ->
@@ -426,9 +465,25 @@ let run_tiled ?wrap ?(backend = Interp) ~num_domains ~tile ~step ~params (b : bo
 (** The uninstrumented sweep: no observability entry points at all.  The
     [obs] bench artifact measures [run] (sink disabled) against this to
     certify the disabled-instrumentation overhead. *)
-let run_plain ?(num_domains = 1) ?tile ?(step = 0) ?backend ~params (b : bound) =
+let run_plain ?(num_domains = 1) ?tile ?(step = 0) ?backend ?region ~params (b : bound) =
   let backend = match backend with Some be -> be | None -> default_backend () in
-  ignore (run_tiled ~backend ~num_domains ~tile ~step ~params b)
+  ignore (run_tiled ~backend ?region ~num_domains ~tile ~step ~params b)
+
+(* Cells a region sweep visits (for the per-kernel counters). *)
+let region_cells (b : bound) = function
+  | Whole -> sweep_cells b
+  | (Interior halo | Shell halo) as region ->
+    let dim = b.kernel.Ir.Kernel.dim in
+    let ranges = Array.init dim (fun d -> sweep_range b b.lowered.Ir.Lower.loop_order.(d)) in
+    let inner =
+      Array.fold_left
+        (fun acc (lo, hi) -> acc * max 0 (hi - lo + 1))
+        1
+        (interior_ranges b ~ranges ~halo)
+    in
+    (match region with Interior _ -> inner | _ -> sweep_cells b - inner)
+
+let region_suffix = function Whole -> "" | Interior _ -> ".interior" | Shell _ -> ".shell"
 
 (** Execute one sweep of the kernel over the block.
 
@@ -446,15 +501,16 @@ let run_plain ?(num_domains = 1) ?tile ?(step = 0) ?backend ~params (b : bound) 
     bump the global [vm.tiles]/[vm.steals] counters — all per sweep, never
     per cell, and all from the coordinating domain ([Obs.Metrics] is not
     thread-safe).  Disabled, the only cost is this one branch. *)
-let run ?num_domains ?tile ?(step = 0) ?backend ~params (b : bound) =
+let run ?num_domains ?tile ?(step = 0) ?backend ?(region = Whole) ~params (b : bound) =
   let num_domains =
     match num_domains with Some n -> n | None -> Pool.default_domains ()
   in
   let backend = match backend with Some be -> be | None -> default_backend () in
-  if not (Obs.Sink.enabled ()) then run_plain ~num_domains ?tile ~step ~backend ~params b
+  if not (Obs.Sink.enabled ()) then
+    run_plain ~num_domains ?tile ~step ~backend ~region ~params b
   else begin
-    let name = b.kernel.Ir.Kernel.name in
-    let cells = sweep_cells b in
+    let name = b.kernel.Ir.Kernel.name ^ region_suffix region in
+    let cells = region_cells b region in
     let wrap lane f =
       if lane = 0 then f ()  (* the coordinating lane lives inside the kernel span *)
       else Obs.Span.with_ ~cat:"vm" ~tid:lane ("slice:" ^ name) f
@@ -463,7 +519,7 @@ let run ?num_domains ?tile ?(step = 0) ?backend ~params (b : bound) =
       Obs.Clock.time_ns (fun () ->
           Obs.Span.with_ ~cat:"vm" ~args:[ ("cells", float_of_int cells) ]
             ("kernel:" ^ name) (fun () ->
-              run_tiled ~wrap ~backend ~num_domains ~tile ~step ~params b))
+              run_tiled ~wrap ~backend ~region ~num_domains ~tile ~step ~params b))
     in
     Obs.Metrics.add (Obs.Metrics.counter ("vm." ^ name ^ ".cells")) cells;
     Obs.Metrics.incr (Obs.Metrics.counter ("vm." ^ name ^ ".sweeps"));

@@ -30,6 +30,8 @@ type choice = {
   cachesim_bytes_per_lup : float;  (** LRU-simulated traffic of the winner *)
   backend : Engine.backend;  (** faster of interpreter/JIT on the winner *)
   backend_ns : (string * float) list;  (** probe ns/LUP per backend *)
+  overlap : bool;  (** run the inner/outer split so exchanges can overlap *)
+  overlap_ns : (string * float) list;  (** probe ns/LUP: whole vs. split sweep *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -82,6 +84,43 @@ let probe_ns ?(backend = Engine.Interp) ~domains ~tile ~sweeps ~reps ~params
       bounds
   in
   sweep 0 (* warmup: also spawns the pool workers once *);
+  let best = ref infinity in
+  for rep = 1 to reps do
+    let (), dt_ns =
+      Obs.Clock.time_ns (fun () ->
+          for s = 1 to sweeps do
+            sweep ((rep * sweeps) + s)
+          done)
+    in
+    if dt_ns < !best then best := dt_ns
+  done;
+  let cells = float_of_int (Array.fold_left ( * ) 1 block.Engine.dims) in
+  !best /. float_of_int sweeps /. cells
+
+(* Probe the inner/outer split execution shape of the overlapped exchange
+   (paper §7): each kernel sweeps its deep interior at the chain's
+   cumulative stencil halo, then the matching halo shells run — the exact
+   work a forest block does around an in-flight ghost exchange. *)
+let probe_split_ns ?(backend = Engine.Interp) ~domains ~tile ~sweeps ~reps ~params
+    (block : Engine.block) kernels =
+  let bounds =
+    let halo = ref 0 in
+    List.map
+      (fun k ->
+        let b = Engine.bind k block in
+        halo := !halo + Engine.stencil_halo b;
+        (b, !halo))
+      kernels
+  in
+  let run region step (b, h) =
+    Engine.run_plain ~num_domains:domains ?tile ~step ~backend
+      ~region:(region h) ~params b
+  in
+  let sweep step =
+    List.iter (run (fun h -> Engine.Interior h) step) bounds;
+    List.iter (run (fun h -> Engine.Shell h) step) bounds
+  in
+  sweep 0;
   let best = ref infinity in
   for rep = 1 to reps do
     let (), dt_ns =
@@ -204,6 +243,25 @@ let decide ?(machine = Perfmodel.Machine.skylake_8174) ?(domains = Pool.default_
       | [ (_, interp_ns); (_, jit_ns) ] when jit_ns < interp_ns -> Engine.Jit
       | _ -> Engine.Interp
     in
+    (* overlap axis: the inner/outer split pays a scheduling overhead
+       (extra passes, shell tiles with short inner runs).  Probe the
+       monolithic sweep against the split shape at the chosen tile and
+       backend; accept the split while its overhead stays within 15 % —
+       the exchange it hides is worth far more at scale, but a tiny block
+       whose shell dominates should stay sequential. *)
+    let overlap_ns =
+      [
+        ("whole", probe_ns ~backend ~domains ~tile ~sweeps ~reps ~params block winner_kernels);
+        ( "split",
+          probe_split_ns ~backend ~domains ~tile ~sweeps ~reps ~params block winner_kernels
+        );
+      ]
+    in
+    let overlap =
+      match overlap_ns with
+      | [ (_, whole); (_, split) ] -> split <= 1.15 *. whole
+      | _ -> false
+    in
     let cachesim_bytes_per_lup =
       match winner_kernels with
       | [] -> 0.
@@ -227,6 +285,8 @@ let decide ?(machine = Perfmodel.Machine.skylake_8174) ?(domains = Pool.default_
         cachesim_bytes_per_lup;
         backend;
         backend_ns;
+        overlap;
+        overlap_ns;
       }
     in
     Hashtbl.replace cache fp c;
@@ -258,4 +318,7 @@ let pp_choice ppf c =
     c.cachesim_bytes_per_lup;
   Fmt.pf ppf "backends:";
   List.iter (fun (label, ns) -> Fmt.pf ppf " %s=%.1f" label ns) c.backend_ns;
-  Fmt.pf ppf " -> %s@." (Engine.backend_label c.backend)
+  Fmt.pf ppf " -> %s@." (Engine.backend_label c.backend);
+  Fmt.pf ppf "overlap sweep:";
+  List.iter (fun (label, ns) -> Fmt.pf ppf " %s=%.1f" label ns) c.overlap_ns;
+  Fmt.pf ppf " -> %s@." (if c.overlap then "split (overlap exchanges)" else "whole")

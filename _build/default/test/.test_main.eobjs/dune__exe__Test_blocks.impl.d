@@ -1,1 +1,1 @@
-test/test_blocks.ml: Alcotest Array Blocks Fieldspec Fun Gpumodel List Pfcore Printf Symbolic Vm
+test/test_blocks.ml: Alcotest Array Blocks Fieldspec Fun Gpumodel Int64 List Pfcore Printf Symbolic Vm

@@ -61,6 +61,73 @@ let test_schedule_empty () =
   Alcotest.(check int) "zero-dim -> zero tiles" 0
     (Array.length (Vm.Schedule.make ~ranges:[||] ()))
 
+(* split_halo partition properties: interior ∪ shell covers the sweep
+   exactly once, the interior never touches cells within the halo of the
+   range boundary, and a grid not deeper than the stencil width degenerates
+   to an all-shell partition. *)
+let test_split_halo_partition () =
+  let cover tiles =
+    let counts = Hashtbl.create 64 in
+    Array.iter
+      (fun (t : Vm.Schedule.tile) ->
+        let dim = Array.length t.Vm.Schedule.lo in
+        let rec walk d coords =
+          if d = dim then begin
+            let key = Array.to_list coords in
+            Hashtbl.replace counts key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+          end
+          else
+            for i = t.Vm.Schedule.lo.(d) to t.Vm.Schedule.hi.(d) do
+              coords.(d) <- i;
+              walk (d + 1) coords
+            done
+        in
+        walk 0 (Array.make dim 0))
+      tiles;
+    counts
+  in
+  List.iter
+    (fun (ranges, halo, shape) ->
+      let interior =
+        Array.map (fun (lo, hi) -> (max lo (lo + halo), min hi (hi - halo))) ranges
+      in
+      let inner, shell = Vm.Schedule.split_halo ~ranges ~interior ?shape () in
+      (* together they tile the full sweep exactly once *)
+      let counts = cover (Array.append inner shell) in
+      let total =
+        Array.fold_left ( * ) 1 (Array.map (fun (lo, hi) -> max 0 (hi - lo + 1)) ranges)
+      in
+      Alcotest.(check int) "interior + shell cover each cell once" total
+        (Hashtbl.length counts);
+      Hashtbl.iter (fun _ n -> Alcotest.(check int) "no overlap" 1 n) counts;
+      (* no interior cell within [halo] of the sweep boundary *)
+      Hashtbl.iter
+        (fun key _ ->
+          List.iteri
+            (fun d i ->
+              let lo, hi = ranges.(d) in
+              Alcotest.(check bool) "interior clears the halo" true
+                (i >= lo + halo && i <= hi - halo))
+            key)
+        (cover inner))
+    [
+      ([| (0, 11); (0, 7) |], 2, None);
+      ([| (0, 11); (0, 7); (0, 5) |], 1, Some [| 3; 2; 0 |]);
+      ([| (0, 11); (0, 8) |], 2, Some [| 64; 64 |]);
+      ([| (0, 4); (0, 4) |], 2, None);   (* interior a single cell wide *)
+    ];
+  (* grid ≤ stencil width: the interior is empty, the shell is the sweep *)
+  let ranges = [| (0, 3); (0, 5) |] in
+  let interior = [| (2, 1); (2, 3) |] in
+  let inner, shell = Vm.Schedule.split_halo ~ranges ~interior () in
+  Alcotest.(check int) "empty interior -> no interior tiles" 0 (Array.length inner);
+  Alcotest.(check int) "empty interior -> shell covers sweep" 24
+    (Hashtbl.length (cover shell));
+  Alcotest.check_raises "interior outside sweep rejected"
+    (Invalid_argument "Schedule.split_halo: interior exceeds sweep range") (fun () ->
+      ignore (Vm.Schedule.split_halo ~ranges:[| (0, 5) |] ~interior:[| (0, 6) |] ()))
+
 let test_shape_of_string () =
   Alcotest.(check (array int)) "AxB" [| 8; 4 |] (Vm.Schedule.shape_of_string "8x4");
   Alcotest.(check (array int)) "AxBxC" [| 16; 8; 4 |] (Vm.Schedule.shape_of_string "16x8x4");
@@ -300,6 +367,8 @@ let suite =
   [
     Alcotest.test_case "schedule: tiles partition the sweep" `Quick test_schedule_partition;
     Alcotest.test_case "schedule: empty ranges" `Quick test_schedule_empty;
+    Alcotest.test_case "schedule: split_halo partition properties" `Quick
+      test_split_halo_partition;
     Alcotest.test_case "schedule: --tile shape parsing" `Quick test_shape_of_string;
     Alcotest.test_case "engine: empty interior is a no-op" `Quick test_empty_interior;
     Alcotest.test_case "engine: tile larger than sweep = serial" `Quick

@@ -238,6 +238,90 @@ let request_retransmit t ~src ~dst ~tag ~seq =
       `Sent
     | None -> `Lost
 
+(* ------------------------------------------------------------------ *)
+(* Nonblocking surface                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** MPI-style request handles.  An [isend] completes at post time (the
+    substrate buffers every message), mirroring an eager-protocol
+    [MPI_Isend]; an [irecv] completes when {!test} or {!wait} matches the
+    channel's next expected sequence number.  The per-channel sequence
+    numbers of the blocking surface are preserved — [irecv] consumes
+    exactly the message [recv_expected] would have, so nonblocking and
+    blocking exchanges are interchangeable message for message. *)
+type request =
+  | Isend of { dst : int }
+  | Irecv of {
+      src : int;
+      dst : int;
+      tag : int;
+      mutable arrived : float array option;
+    }
+
+(** Post a message and return its (already-complete) send request. *)
+let isend t ~src ~dst ~tag data =
+  send t ~src ~dst ~tag data;
+  Isend { dst }
+
+(** Post a receive for the channel's next in-sequence message.  Nothing is
+    consumed until {!test} or {!wait} observes the arrival. *)
+let irecv (_ : t) ~src ~dst ~tag = Irecv { src; dst; tag; arrived = None }
+
+(** Poll a request: [true] when complete.  Polling an [Irecv] releases due
+    delayed messages and consumes the expected message if it has arrived
+    (discarding stale duplicates on the way, like the blocking path). *)
+let test t = function
+  | Isend _ -> true
+  | Irecv r -> (
+    r.arrived <> None
+    ||
+    (release_due t;
+     match recv_expected t ~src:r.src ~dst:r.dst ~tag:r.tag with
+     | Some p ->
+       r.arrived <- Some p;
+       true
+     | None -> false))
+
+(** Drive a request to completion through the self-healing protocol: a
+    missing message is treated as a timeout against the virtual clock — the
+    receiver backs off exponentially (releasing delayed messages) and
+    requests bounded retransmission from the sender's log.  [`Done n]
+    reports the number of retries the healing needed (0 on the fault-free
+    path); [`Crashed] surfaces a dead sender for the recovery driver;
+    [`Lost] means the retries were exhausted on a live channel. *)
+let wait ?(max_retries = 10) t = function
+  | Isend _ -> `Done 0
+  | Irecv r -> (
+    match r.arrived with
+    | Some _ -> `Done 0
+    | None ->
+      let rec attempt retries backoff =
+        release_due t;
+        match recv_expected t ~src:r.src ~dst:r.dst ~tag:r.tag with
+        | Some p ->
+          r.arrived <- Some p;
+          `Done retries
+        | None ->
+          if retries >= max_retries then
+            if is_crashed t r.src then `Crashed r.src else `Lost (r.src, r.dst, r.tag)
+          else begin
+            advance_clock t backoff;
+            match
+              request_retransmit t ~src:r.src ~dst:r.dst ~tag:r.tag
+                ~seq:(expected_seq t ~src:r.src ~dst:r.dst ~tag:r.tag)
+            with
+            | `Crashed -> `Crashed r.src
+            | `Sent | `Lost -> attempt (retries + 1) (2 * backoff)
+          end
+      in
+      attempt 0 1)
+
+(** The payload of a completed [Irecv] (call {!wait} or {!test} first). *)
+let payload = function
+  | Isend _ -> invalid_arg "Mpisim.payload: send requests carry no payload"
+  | Irecv { arrived = Some p; _ } -> p
+  | Irecv _ -> invalid_arg "Mpisim.payload: request not complete"
+
 (** All channels drained and nothing in the delayed pool. *)
 let quiescent t =
   t.delayed = []

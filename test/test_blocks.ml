@@ -71,6 +71,153 @@ let test_exchange_bytes_positive () =
   let a = Vm.Buffer.create ~ghost:2 f2 [| 8; 8 |] in
   Alcotest.(check bool) "ghost volume positive" true (Blocks.Ghost.exchange_bytes a > 0)
 
+(* --------------- nonblocking surface ------------------------------- *)
+
+let test_isend_irecv_wait () =
+  let c = Blocks.Mpisim.create 2 in
+  let s = Blocks.Mpisim.isend c ~src:0 ~dst:1 ~tag:3 [| 1.; 2. |] in
+  Alcotest.(check bool) "isend completes at post time" true (Blocks.Mpisim.test c s);
+  ignore (Blocks.Mpisim.isend c ~src:0 ~dst:1 ~tag:3 [| 9. |]);
+  let r1 = Blocks.Mpisim.irecv c ~src:0 ~dst:1 ~tag:3 in
+  let r2 = Blocks.Mpisim.irecv c ~src:0 ~dst:1 ~tag:3 in
+  Alcotest.check_raises "payload before completion rejected"
+    (Invalid_argument "Mpisim.payload: request not complete") (fun () ->
+      ignore (Blocks.Mpisim.payload r1));
+  (* waits complete in posting order: per-channel sequence numbers are the
+     same ones the blocking surface would assign *)
+  (match Blocks.Mpisim.wait c r1 with
+  | `Done 0 -> ()
+  | _ -> Alcotest.fail "first wait should complete without retries");
+  Alcotest.(check (array (float 0.))) "fifo payload 1" [| 1.; 2. |]
+    (Blocks.Mpisim.payload r1);
+  Alcotest.(check bool) "second arrives by polling" true (Blocks.Mpisim.test c r2);
+  Alcotest.(check (array (float 0.))) "fifo payload 2" [| 9. |]
+    (Blocks.Mpisim.payload r2);
+  Alcotest.(check bool) "wait after test is a no-op" true
+    (Blocks.Mpisim.wait c r2 = `Done 0);
+  Alcotest.(check bool) "drained channels are quiescent" true (Blocks.Mpisim.quiescent c)
+
+(* A posted-but-never-received message must trip the end-of-step
+   quiescence invariant — overlap mode may not leak in-flight messages
+   past finalize. *)
+let test_isend_unreceived_unquiescent () =
+  let c = Blocks.Mpisim.create 2 in
+  Blocks.Mpisim.begin_step c ~step:0;
+  ignore (Blocks.Mpisim.isend c ~src:0 ~dst:1 ~tag:0 [| 4. |]);
+  Alcotest.(check bool) "not quiescent while in flight" false (Blocks.Mpisim.quiescent c);
+  Alcotest.check_raises "finalize rejects in-flight messages"
+    (Blocks.Mpisim.Unquiescent [ (0, 1, 0, 1) ]) (fun () -> Blocks.Mpisim.finalize c);
+  let r = Blocks.Mpisim.irecv c ~src:0 ~dst:1 ~tag:0 in
+  (match Blocks.Mpisim.wait c r with
+  | `Done _ -> ()
+  | _ -> Alcotest.fail "wait should drain the channel");
+  Blocks.Mpisim.finalize c
+
+(* wait's healing loop: under a lossy/delaying/duplicating plan the
+   payloads still arrive exactly once, in order, mid-overlap. *)
+let test_wait_heals_faults () =
+  let c = Blocks.Mpisim.create 2 in
+  Blocks.Mpisim.set_fault_plan c
+    (Some
+       {
+         Blocks.Faultplan.seed = 11;
+         drop = 0.4;
+         delay = 0.3;
+         duplicate = 0.3;
+         max_delay = 3;
+         crash = None;
+       });
+  Blocks.Mpisim.begin_step c ~step:1;
+  for i = 1 to 6 do
+    ignore (Blocks.Mpisim.isend c ~src:0 ~dst:1 ~tag:0 [| float_of_int i |])
+  done;
+  let reqs = List.init 6 (fun _ -> Blocks.Mpisim.irecv c ~src:0 ~dst:1 ~tag:0) in
+  List.iteri
+    (fun i r ->
+      match Blocks.Mpisim.wait c r with
+      | `Done _ ->
+        Alcotest.(check (array (float 0.)))
+          (Printf.sprintf "payload %d exactly once, in order" (i + 1))
+          [| float_of_int (i + 1) |]
+          (Blocks.Mpisim.payload r)
+      | `Crashed _ | `Lost _ -> Alcotest.fail "healing should recover every message")
+    reqs;
+  Blocks.Mpisim.finalize c
+
+(* wait surfaces a dead sender as `Crashed, the signal the recovery driver
+   turns into a rollback. *)
+let test_wait_reports_crash () =
+  let c = Blocks.Mpisim.create 2 in
+  Blocks.Mpisim.set_fault_plan c
+    (Some
+       {
+         Blocks.Faultplan.seed = 1;
+         drop = 0.;
+         delay = 0.;
+         duplicate = 0.;
+         max_delay = 3;
+         crash = Some (0, 1);
+       });
+  Blocks.Mpisim.begin_step c ~step:1;
+  let r = Blocks.Mpisim.irecv c ~src:0 ~dst:1 ~tag:0 in
+  match Blocks.Mpisim.wait c ~max_retries:3 r with
+  | `Crashed 0 -> ()
+  | `Crashed r -> Alcotest.failf "wrong crashed rank %d" r
+  | `Done _ | `Lost _ -> Alcotest.fail "dead sender must surface as `Crashed"
+
+(* --------------- overlapped forest --------------------------------- *)
+
+(* Overlapped exchange over a fault plan vs. clean sequential exchange:
+   the scheduling transformation plus in-place healing must be invisible
+   bitwise.  (Oracle 10 covers the random space; this pins one
+   deterministic configuration into tier 1.) *)
+let test_overlapped_forest_bitwise () =
+  let g = Pfcore.Genkernels.generate (Pfcore.Params.p1 ()) in
+  let run ~overlap ~faults =
+    let forest =
+      Blocks.Forest.create ~overlap ~grid:[| 1; 1; 2 |] ~block_dims:[| 6; 6; 6 |] g
+    in
+    Array.iter Pfcore.Simulation.init_lamellae forest.Blocks.Forest.sims;
+    Blocks.Forest.prime forest;
+    if faults then
+      Blocks.Mpisim.set_fault_plan forest.Blocks.Forest.comm
+        (Some
+           {
+             Blocks.Faultplan.seed = 5;
+             drop = 0.2;
+             delay = 0.2;
+             duplicate = 0.1;
+             max_delay = 3;
+             crash = None;
+           });
+    Blocks.Forest.run forest ~steps:2;
+    forest
+  in
+  let seq = run ~overlap:false ~faults:false in
+  let ovl = run ~overlap:true ~faults:true in
+  let fields = g.Pfcore.Genkernels.fields in
+  List.iter
+    (fun (f : Fieldspec.t) ->
+      for z = 0 to 11 do
+        for y = 0 to 5 do
+          for x = 0 to 5 do
+            for comp = 0 to f.Fieldspec.components - 1 do
+              let a = Blocks.Forest.get seq f ~component:comp [| x; y; z |] in
+              let b = Blocks.Forest.get ovl f ~component:comp [| x; y; z |] in
+              if Int64.bits_of_float a <> Int64.bits_of_float b then
+                Alcotest.failf "mismatch at %s (%d,%d,%d) comp %d: %h vs %h"
+                  f.Fieldspec.name x y z comp a b
+            done
+          done
+        done
+      done)
+    [ fields.Pfcore.Model.phi_src; fields.Pfcore.Model.mu_src ];
+  let comm = ovl.Blocks.Forest.comm in
+  Alcotest.(check bool) "fault plan actually fired" true
+    (comm.Blocks.Mpisim.dropped + comm.Blocks.Mpisim.delayed_count
+     + comm.Blocks.Mpisim.duplicated
+    > 0)
+
 let forest_matches_single variant =
   let g = Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ()) in
   let single = Pfcore.Timestep.create ~variant_phi:variant ~dims:[| 16; 16 |] g in
@@ -195,6 +342,14 @@ let suite =
     Alcotest.test_case "exchange message/byte accounting" `Quick test_exchange_accounting;
     Alcotest.test_case "ghost pack/unpack" `Quick test_ghost_roundtrip;
     Alcotest.test_case "ghost volume" `Quick test_exchange_bytes_positive;
+    Alcotest.test_case "mpisim isend/irecv/wait" `Quick test_isend_irecv_wait;
+    Alcotest.test_case "mpisim in-flight message trips quiescence" `Quick
+      test_isend_unreceived_unquiescent;
+    Alcotest.test_case "mpisim wait heals drop/delay/duplicate" `Quick
+      test_wait_heals_faults;
+    Alcotest.test_case "mpisim wait reports dead sender" `Quick test_wait_reports_crash;
+    Alcotest.test_case "overlapped forest == sequential (faulty, bitwise)" `Slow
+      test_overlapped_forest_bitwise;
     Alcotest.test_case "forest == single (full)" `Slow test_forest_equals_single_full;
     Alcotest.test_case "forest == single (split)" `Slow test_forest_equals_single_split;
     Alcotest.test_case "forest 3D P1" `Slow test_forest_3d_p1;

@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Bench-gate runner for CI (job 3) and local pre-merge checks.
+#
+# Builds the bench harness and runs every artifact that carries an ENFORCED
+# gate, then re-checks the gate_passed metric written into each BENCH_*.json
+# so a regression fails the job even if an exit code is swallowed upstream.
+#
+# Gates exercised (all ENFORCED in bench/main.ml):
+#   pool    - pooled speedup >= threshold (enforced when >1 core, or
+#             PFGEN_BENCH_ENFORCE=1), zero extra domain spawns after warmup
+#   jit     - compiled backend >= 5x over the interpreter, zero recompiles
+#             after warmup
+#   serve   - mempool steady-state hit rate >= 90%, zero fresh allocs
+#   overlap - overlapped-vs-sequential bitwise mismatches = 0,
+#             exchange-hidden-fraction >= 0.5 (model-calibrated)
+#   scaling - no gate; produces the labelled weak/strong projections
+#             (BENCH_scaling.json) that CI uploads as an artifact
+#
+# Usage: tools/check_bench.sh [artifact ...]   (defaults to the gated set)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ARTIFACTS="${*:-pool jit serve overlap scaling}"
+
+dune build bench/main.exe
+
+# shellcheck disable=SC2086  # word-splitting the artifact list is intended
+./_build/default/bench/main.exe $ARTIFACTS
+
+status=0
+for a in $ARTIFACTS; do
+  json="BENCH_$a.json"
+  if [ ! -f "$json" ]; then
+    echo "GATE CHECK: missing artifact $json" >&2
+    status=1
+    continue
+  fi
+  # gate_passed is only present for gated artifacts; scaling has none.
+  if grep -q '"gate_passed"' "$json"; then
+    if grep -q '"gate_passed": 1' "$json"; then
+      echo "GATE CHECK: $json passed"
+    else
+      echo "GATE CHECK: $json FAILED (gate_passed != 1)" >&2
+      status=1
+    fi
+  else
+    echo "GATE CHECK: $json has no gate (recorded metrics only)"
+  fi
+done
+
+echo "bench artifacts for upload:"
+ls -1 BENCH_*.json
+
+exit "$status"
