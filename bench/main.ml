@@ -1086,6 +1086,138 @@ let scaling_bench () =
     strong_ranks
 
 (* ------------------------------------------------------------------ *)
+(* Reduce: canonical reductions + interface-adaptive block forest      *)
+(* ------------------------------------------------------------------ *)
+
+(* The reduce gates.  (1) Bitwise: the interface-adaptive forest must end
+   exactly equal to the uniform fine-grid run over every phase component
+   of every cell, and every canonical reduction (interface count, phase
+   sum, extrema) must be bitwise identical between the serial single-tile
+   reference, the pooled/tiled executor and the adaptive forest — the
+   fixed-topology tree makes the combination order a constant of the
+   contract, so the gate is zero divergence on any machine.  (2) Savings:
+   on the interface-localized 2D curvature benchmark (shrinking sharp
+   disc on 72^2, 12x12 blocks of 6^2 cells) the frozen bulk must buy at
+   least 2x in cells touched versus the uniform sweep.  The per-cell
+   reduction overhead is recorded alongside (not gated: wall-clock). *)
+let reduce_bench () =
+  section "Reduce: deterministic reductions + interface-adaptive forest (2D curvature)";
+  let gen = Pfcore.Genkernels.generate (Pfcore.Params.curvature ~dim:2 ()) in
+  let phi = gen.Pfcore.Genkernels.fields.Pfcore.Model.phi_src in
+  let size = 72 and steps = 10 in
+  let dims = [| size; size |] in
+  (* uniform fine-grid reference *)
+  let uni = Pfcore.Timestep.create ~dims gen in
+  Pfcore.Simulation.init_sphere ~radius_frac:0.2 uni;
+  Pfcore.Timestep.prime uni;
+  Pfcore.Timestep.run uni ~steps;
+  (* interface-adaptive forest over the same domain, same initial state *)
+  let af = Blocks.Adaptive.create ~bgrid:[| size / 6; size / 6 |] ~block_dims:[| 6; 6 |] gen in
+  List.iter (Pfcore.Simulation.init_sphere ~radius_frac:0.2) (Blocks.Adaptive.active_sims af);
+  Blocks.Adaptive.prime af;
+  let t0 = Unix.gettimeofday () in
+  Blocks.Adaptive.run af ~steps;
+  let t_adaptive = Unix.gettimeofday () -. t0 in
+  (* gate 1a: bitwise identity of the full phase field *)
+  let ub = Vm.Engine.buffer uni.Pfcore.Timestep.block phi in
+  let mismatches = ref 0 in
+  for gy = 0 to size - 1 do
+    for gx = 0 to size - 1 do
+      for c = 0 to phi.Symbolic.Fieldspec.components - 1 do
+        let a = Blocks.Adaptive.get af phi ~component:c [| gx; gy |] in
+        let b = Vm.Buffer.get ub ~component:c [| gx; gy |] in
+        if Int64.bits_of_float a <> Int64.bits_of_float b then incr mismatches
+      done
+    done
+  done;
+  (* gate 1b: canonical reductions bitwise-equal across executors *)
+  let block = uni.Pfcore.Timestep.block in
+  let reductions =
+    [
+      ("interface_cells", Vm.Reduce.Interface, Vm.Reduce.Sum);
+      ("phi0_sum", Vm.Reduce.Component 0, Vm.Reduce.Sum);
+      ("phi0_min", Vm.Reduce.Component 0, Vm.Reduce.Min);
+      ("phi0_max", Vm.Reduce.Component 0, Vm.Reduce.Max);
+    ]
+  in
+  let divergent = ref 0 in
+  List.iter
+    (fun (name, cellfn, op) ->
+      let serial = Vm.Reduce.scalar ~backend:Vm.Engine.Interp ~num_domains:1 block phi cellfn op in
+      let pooled = Vm.Reduce.scalar ~num_domains:4 ~tile:[| 5; 3 |] block phi cellfn op in
+      let adaptive = Blocks.Adaptive.scalar af phi cellfn op in
+      if
+        Int64.bits_of_float serial <> Int64.bits_of_float pooled
+        || Int64.bits_of_float serial <> Int64.bits_of_float adaptive
+      then incr divergent;
+      metric name serial)
+    reductions;
+  (* gate 2: cells-touched savings of the frozen bulk *)
+  let savings = Blocks.Adaptive.savings af in
+  let savings_threshold = 2.0 in
+  (* recorded overhead: canonical interface reduction, serial vs pooled *)
+  let time_reduction f =
+    ignore (f ());
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let cells = float_of_int (size * size) in
+  let t_serial =
+    time_reduction (fun () ->
+        Vm.Reduce.scalar ~backend:Vm.Engine.Interp ~num_domains:1 block phi Vm.Reduce.Interface
+          Vm.Reduce.Sum)
+  in
+  let t_pooled =
+    time_reduction (fun () ->
+        Vm.Reduce.scalar ~num_domains:4 block phi Vm.Reduce.Interface Vm.Reduce.Sum)
+  in
+  Fmt.pr "adaptive run:          %8.2f ms (%d steps, %d/%d block(s) frozen at end)@."
+    (t_adaptive *. 1e3) steps
+    (Blocks.Adaptive.frozen_blocks af)
+    (Blocks.Adaptive.nblocks af);
+  Fmt.pr "bitwise mismatches:    %8d field cell(s), %d reduction(s) (gate = 0, ENFORCED)@."
+    !mismatches !divergent;
+  Fmt.pr "cells-touched savings: %8.2fx (gate >= %.1fx, ENFORCED)@." savings savings_threshold;
+  Fmt.pr "reduction overhead:    %8.2f ns/cell serial, %.2f ns/cell pooled (recorded)@."
+    (t_serial /. cells *. 1e9)
+    (t_pooled /. cells *. 1e9);
+  metric "steps" (float_of_int steps);
+  metric "grid_cells" cells;
+  metric "adaptive_run_ms" (t_adaptive *. 1e3);
+  metric "frozen_blocks" (float_of_int (Blocks.Adaptive.frozen_blocks af));
+  metric "total_blocks" (float_of_int (Blocks.Adaptive.nblocks af));
+  metric "freezes" (float_of_int af.Blocks.Adaptive.freezes);
+  metric "thaws" (float_of_int af.Blocks.Adaptive.thaws);
+  metric "bitwise_mismatches" (float_of_int !mismatches);
+  metric "divergent_reductions" (float_of_int !divergent);
+  metric "cells_touched_savings" savings;
+  metric "savings_threshold" savings_threshold;
+  metric "reduce_ns_per_cell_serial" (t_serial /. cells *. 1e9);
+  metric "reduce_ns_per_cell_pooled" (t_pooled /. cells *. 1e9);
+  metric "gate_passed"
+    (if !mismatches = 0 && !divergent = 0 && savings >= savings_threshold then 1. else 0.);
+  if !mismatches <> 0 then
+    gate_failures :=
+      Printf.sprintf "reduce: %d bitwise mismatch(es) between adaptive and uniform"
+        !mismatches
+      :: !gate_failures;
+  if !divergent <> 0 then
+    gate_failures :=
+      Printf.sprintf "reduce: %d reduction(s) diverge across executors" !divergent
+      :: !gate_failures;
+  if savings < savings_threshold then
+    gate_failures :=
+      Printf.sprintf "reduce: cells-touched savings %.2fx below the %.1fx gate" savings
+        savings_threshold
+      :: !gate_failures
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let artifacts =
@@ -1106,6 +1238,7 @@ let () =
       ("jit", jit_bench);
       ("serve", serve_bench);
       ("overlap", overlap_bench);
+      ("reduce", reduce_bench);
       ("scaling", scaling_bench);
     ]
   in

@@ -231,9 +231,52 @@ let forest_phi_mismatches (g : Pfcore.Genkernels.t) a b =
   walk 0;
   !bad
 
+let build_adaptive ?num_domains ?tile ?backend ~overlap ~split ~ranks ~bgrid ~block_dims
+    params g =
+  let af =
+    Blocks.Adaptive.create ~variant_phi:(variant_of split) ?num_domains ?tile ?backend
+      ~overlap ~ranks ~bgrid ~block_dims g
+  in
+  List.iter (init_single params) (Blocks.Adaptive.active_sims af);
+  Blocks.Adaptive.prime af;
+  af
+
+(* Bitwise comparison of the adaptive forest against a uniform fine-grid
+   run over all global interior cells. *)
+let adaptive_phi_mismatches (g : Pfcore.Genkernels.t) af (uni : Pfcore.Timestep.t) =
+  let phi = g.Pfcore.Genkernels.fields.Pfcore.Model.phi_src in
+  let gd = af.Blocks.Adaptive.global_dims in
+  let dim = Array.length gd in
+  let ub = Vm.Engine.buffer uni.Pfcore.Timestep.block phi in
+  let bad = ref 0 in
+  let coords = Array.make dim 0 in
+  let rec walk d =
+    if d = dim then
+      for c = 0 to phi.Symbolic.Fieldspec.components - 1 do
+        let x = Blocks.Adaptive.get af phi ~component:c coords in
+        let y = Vm.Buffer.get ub ~component:c coords in
+        if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)) then incr bad
+      done
+    else
+      for i = 0 to gd.(d) - 1 do
+        coords.(d) <- i;
+        walk (d + 1)
+      done
+  in
+  walk 0;
+  !bad
+
+(* Every diagnostic below is the value of the fixed-topology reduction
+   tree, so the printed numbers are bitwise reproducible across domain
+   counts, tile shapes, backends and rank decompositions. *)
+let print_diag ~interface ~fraction ~mn ~mx =
+  Fmt.pr "diag: interface cells %.0f (fraction %.6f), phi[0] min %.17g max %.17g@."
+    interface fraction mn mx
+
 let simulate params size steps ranks split overlap domains tile backend crash_at ckpt_every
-    fault_seed trace metrics_out =
+    fault_seed adaptive diag trace metrics_out =
   let g = generate params false in
+  let phi = g.Pfcore.Genkernels.fields.Pfcore.Model.phi_src in
   let dim = params.Pfcore.Params.dim in
   if overlap && ranks <= 1 then failwith "--overlap requires --ranks > 1";
   let observing = trace <> None || metrics_out <> None in
@@ -246,7 +289,64 @@ let simulate params size steps ranks split overlap domains tile backend crash_at
   end;
   let t0 = Unix.gettimeofday () in
   let fractions =
-    if ranks > 1 then begin
+    if adaptive then begin
+      if size mod 6 <> 0 || size < 12 then
+        failwith "--adaptive requires --size a multiple of 6, at least 12";
+      if crash_at <> None && ranks <= 1 then failwith "--crash-at requires --ranks > 1";
+      let bgrid = Array.make dim (size / 6) in
+      let block_dims = Array.make dim 6 in
+      let af =
+        build_adaptive ?num_domains:domains ?tile ?backend ~overlap ~split ~ranks ~bgrid
+          ~block_dims params g
+      in
+      (match crash_at with
+      | None -> Blocks.Adaptive.run af ~steps
+      | Some k ->
+        let plan = Blocks.Faultplan.chaos ~seed:fault_seed ~crash_step:k () in
+        Blocks.Mpisim.set_fault_plan af.Blocks.Adaptive.comm (Some plan);
+        Fmt.pr "fault plan: %a@." Blocks.Faultplan.pp plan;
+        let stats = Resilience.Recovery.run_protected_adaptive ~every:ckpt_every ~steps af in
+        let c = af.Blocks.Adaptive.comm in
+        Fmt.pr
+          "recovery: %d checkpoint(s), %d restart(s), %d step(s) replayed; substrate \
+           healed %d retransmission(s), %d dropped, %d duplicated, %d delayed@."
+          stats.Resilience.Recovery.checkpoints stats.Resilience.Recovery.restarts
+          stats.Resilience.Recovery.replayed_steps c.Blocks.Mpisim.retransmissions
+          c.Blocks.Mpisim.dropped c.Blocks.Mpisim.duplicated c.Blocks.Mpisim.delayed_count);
+      (* the adaptive run is always verified bitwise against the uniform
+         fine-grid run — coarsening must never change a single bit *)
+      let uni =
+        build_single ?num_domains:domains ?tile ?backend ~split ~dims:(Array.make dim size)
+          params g
+      in
+      Pfcore.Timestep.run uni ~steps;
+      let bad = adaptive_phi_mismatches g af uni in
+      if bad = 0 then Fmt.pr "verification: adaptive forest = uniform fine grid (bitwise)@."
+      else begin
+        Fmt.epr "verification FAILED: %d cell value(s) differ from the uniform run@." bad;
+        exit 1
+      end;
+      Fmt.pr
+        "adaptive: %d/%d block(s) frozen, %d freeze(s), %d thaw(s), %d migration(s), \
+         cells-touched savings %.2fx@."
+        (Blocks.Adaptive.frozen_blocks af)
+        (Blocks.Adaptive.nblocks af)
+        af.Blocks.Adaptive.freezes af.Blocks.Adaptive.thaws af.Blocks.Adaptive.migrations
+        (Blocks.Adaptive.savings af);
+      if diag then
+        print_diag
+          ~interface:(Blocks.Adaptive.interface_cells ?backend ?num_domains:domains ?tile af)
+          ~fraction:
+            (Blocks.Adaptive.interface_fraction ?backend ?num_domains:domains ?tile af)
+          ~mn:
+            (Blocks.Adaptive.scalar ?backend ?num_domains:domains ?tile af phi
+               (Vm.Reduce.Component 0) Vm.Reduce.Min)
+          ~mx:
+            (Blocks.Adaptive.scalar ?backend ?num_domains:domains ?tile af phi
+               (Vm.Reduce.Component 0) Vm.Reduce.Max);
+      Blocks.Adaptive.phase_fractions ?backend ?num_domains:domains ?tile af
+    end
+    else if ranks > 1 then begin
       let grid, block_dims = decomposition ~dim ~size ~ranks in
       let forest =
         build_forest ?num_domains:domains ?tile ?backend ~overlap ~split ~grid ~block_dims g
@@ -277,6 +377,13 @@ let simulate params size steps ranks split overlap domains tile backend crash_at
           Fmt.epr "verification FAILED: %d cell value(s) differ from the clean run@." bad;
           exit 1
         end);
+      if diag then
+        print_diag
+          ~interface:(Blocks.Reduce.interface_cells ?backend ?num_domains:domains ?tile forest)
+          ~fraction:
+            (Blocks.Reduce.interface_fraction ?backend ?num_domains:domains ?tile forest)
+          ~mn:(Blocks.Reduce.min_value ?backend ?num_domains:domains ?tile forest phi ~component:0)
+          ~mx:(Blocks.Reduce.max_value ?backend ?num_domains:domains ?tile forest phi ~component:0);
       Blocks.Forest.phase_fractions forest
     end
     else begin
@@ -286,6 +393,12 @@ let simulate params size steps ranks split overlap domains tile backend crash_at
           params g
       in
       Pfcore.Timestep.run sim ~steps;
+      if diag then
+        print_diag
+          ~interface:(Pfcore.Diag.interface_cells ?backend ?num_domains:domains ?tile sim)
+          ~fraction:(Pfcore.Diag.interface_fraction ?backend ?num_domains:domains ?tile sim)
+          ~mn:(Pfcore.Diag.min_value ?backend ?num_domains:domains ?tile sim phi ~component:0)
+          ~mx:(Pfcore.Diag.max_value ?backend ?num_domains:domains ?tile sim phi ~component:0);
       Pfcore.Simulation.phase_fractions sim
     end
   in
@@ -361,6 +474,12 @@ let ckpt_every_arg =
 let fault_seed_arg =
   Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc:"Seed of the deterministic fault plan.")
 
+let adaptive_arg =
+  Arg.(value & flag & info [ "adaptive" ] ~doc:"Run on the interface-adaptive block forest (6-cell blocks, Morton-balanced over the ranks): fully-bulk blocks freeze to per-field constants, interface blocks stay resolved, and the result is verified bitwise against the uniform fine-grid run. Requires --size a multiple of 6.")
+
+let diag_arg =
+  Arg.(value & flag & info [ "diag" ] ~doc:"Print canonical diagnostics (interface-cell count and fraction, min/max of phase component 0) computed by the fixed-topology reduction tree: bitwise reproducible across domain counts, tile shapes, backends and rank decompositions.")
+
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~doc:"Record spans (kernel sweeps, ghost exchanges, checkpoints) and write a Chrome trace-event JSON to $(docv): one lane per simulated rank, one track per OCaml domain. Open in about://tracing or Perfetto." ~docv:"FILE")
 
@@ -372,7 +491,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a simulation with the generated kernels (optionally on simulated MPI ranks, optionally under fault injection with crash recovery, optionally recording a trace and metrics).")
     Term.(const simulate $ model_arg $ size_arg $ steps_arg $ ranks_arg $ split_arg
           $ overlap_arg $ domains_arg $ tile_arg $ backend_arg $ crash_arg
-          $ ckpt_every_arg $ fault_seed_arg $ trace_arg $ metrics_arg)
+          $ ckpt_every_arg $ fault_seed_arg $ adaptive_arg $ diag_arg $ trace_arg
+          $ metrics_arg)
 
 (* ---- checkpoint / resume ---- *)
 

@@ -1,0 +1,927 @@
+(** Interface-adaptive block forest (paper §4.1 / §8).
+
+    waLBerla's phase-field runs refine around the moving solidification
+    front and coarsen the bulk; here the same economy is realised on the
+    uniform block grid by {e freezing} blocks whose state is exactly
+    constant.  Away from the interface a phase-field relaxes to a bulk
+    fixed point (φ a simplex vertex, μ its equilibrium value); once a
+    block and its entire Chebyshev-1 neighborhood sit bitwise on the same
+    per-component constants, the block's next step provably reproduces
+    those constants, so the block stops sweeping kernels and is
+    represented by the constants alone — a coarsened block of level ≥ 1.
+    When the front approaches (any neighbor leaves the vertex), the block
+    is re-materialised ({e refined} back to level 0) before its cells can
+    differ from the uniform run.  An adaptive run is therefore bitwise
+    identical, cell for cell, to the uniform fine-grid run — the property
+    oracle 5's refinement legs lock down.
+
+    Soundness of the freeze rule (one step of grace is enough):
+
+    + a step of block B reads only the global source fields within the
+      ghost depth of B's padded extent (exchange correctness), i.e. at
+      most [2 (φ stencil) + 2 (μ stencil over the mid-step φ_dst
+      exchange) = 4] cells beyond B — inside B's Chebyshev-1 neighborhood
+      whenever every block dimension is ≥ {!min_freeze_dim};
+    + freezing additionally requires a {e probe certificate}: a tiny
+      throwaway block is filled with the candidate constants and stepped
+      once; only a bitwise fixed point certifies (cached per constant
+      vertex).  A static kernel scan rejects models whose kernels read
+      the time symbol, cell coordinates or fluctuation streams — their
+      bulk is never a spatial fixed point;
+    + thawing re-primes source-field ghosts, because a materialised
+      block's ghost layers must equal the mid-step exchanged values of
+      the uniform run, which the constant fill alone cannot provide.
+
+    Frozen blocks still participate in ghost exchange: the slab an
+    all-constant neighbor would send is synthesised locally
+    ({!Ghost.constant_slab}) — no messages, no sweeps, no storage.
+    Refinement levels are the clamped Chebyshev block distance to the
+    nearest active block, which makes the forest 2:1 balanced by
+    construction (asserted).  After each adaptation round the blocks are
+    re-assigned to ranks along the Morton curve with stored-cell weights
+    ({!Morton.balance}); migrating blocks ship their padded buffers over
+    {!Mpisim} channels through the self-healing protocol.  Reductions
+    ride the same canonical tree as everywhere else: frozen blocks
+    publish the canonical nodes of their constant cells, so diagnostics
+    are bitwise independent of the refinement state. *)
+
+open Symbolic
+
+type consts = (Fieldspec.t * float array) list
+(** Per tracked field, the per-storage-component constants of a frozen
+    block (φ and μ source/destination pairs share one vertex each). *)
+
+type state = Active of Pfcore.Timestep.t | Frozen of consts
+
+type mode =
+  | Static  (** adapt once after [prime]; only corrective thaws afterwards *)
+  | Adapt   (** freeze/refine/rebalance every [adapt_every] steps *)
+
+type t = {
+  comm : Mpisim.t;
+  gen : Pfcore.Genkernels.t;
+  bgrid : int array;  (** blocks per axis (decoupled from the rank count) *)
+  block_dims : int array;
+  global_dims : int array;
+  n_ranks : int;
+  variant_phi : Pfcore.Timestep.variant;
+  variant_mu : Pfcore.Timestep.variant;
+  num_domains : int option;
+  tile : int array option;
+  backend : Vm.Engine.backend option;
+  overlap : bool;
+  mode : mode;
+  max_level : int;
+  adapt_every : int;
+  freezable : bool;  (** static kernel scan: bulk can be a fixed point *)
+  states : state array;
+  levels : int array;  (** 0 = active; ≥ 1 = coarsening level of a frozen block *)
+  owner : int array;   (** owning rank per block (Morton-balanced) *)
+  mutable step_count : int;
+  mutable time : float;
+  mutable cells_touched : int;  (** cumulative interior cells actually swept *)
+  mutable freezes : int;
+  mutable thaws : int;
+  mutable migrations : int;
+  probe_cache : (string, bool) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let nblocks t = Array.length t.states
+let block_cells t = Array.fold_left ( * ) 1 t.block_dims
+let block_coords t id = Forest.rank_coords t.bgrid id
+let block_id t c = Forest.rank_of_coords t.bgrid c
+
+let face_neighbor t id ~axis ~dir =
+  let c = block_coords t id in
+  c.(axis) <- (((c.(axis) + dir) mod t.bgrid.(axis)) + t.bgrid.(axis)) mod t.bgrid.(axis);
+  block_id t c
+
+(** Distinct periodic Chebyshev-1 neighbors of a block, excluding itself
+    (on short axes the wrap can alias neighbors together). *)
+let neighbors t id =
+  let dim = Array.length t.bgrid in
+  let c = block_coords t id in
+  let nc = Array.make dim 0 in
+  let acc = ref [] in
+  let rec go d =
+    if d = dim then begin
+      let nid = block_id t nc in
+      if nid <> id && not (List.mem nid !acc) then acc := nid :: !acc
+    end
+    else
+      for dd = -1 to 1 do
+        nc.(d) <- (((c.(d) + dd) mod t.bgrid.(d)) + t.bgrid.(d)) mod t.bgrid.(d);
+        go (d + 1)
+      done
+  in
+  go 0;
+  List.rev !acc
+
+(** Periodic Chebyshev distance between two blocks of the grid. *)
+let chebyshev_dist t a b =
+  let ca = block_coords t a and cb = block_coords t b in
+  let dist = ref 0 in
+  Array.iteri
+    (fun d g ->
+      let delta = abs (ca.(d) - cb.(d)) in
+      dist := max !dist (min delta (g - delta)))
+    t.bgrid;
+  !dist
+
+let fields t = t.gen.Pfcore.Genkernels.fields
+let has_mu t = Pfcore.Params.n_mu t.gen.Pfcore.Genkernels.params > 0
+let buffer (sim : Pfcore.Timestep.t) f = Vm.Engine.buffer sim.Pfcore.Timestep.block f
+let bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let const_of (consts : consts) (f : Fieldspec.t) =
+  match
+    List.find_opt (fun ((g : Fieldspec.t), _) -> g.Fieldspec.name = f.Fieldspec.name) consts
+  with
+  | Some (_, cv) -> cv
+  | None -> invalid_arg ("Adaptive: no frozen constant for field " ^ f.Fieldspec.name)
+
+(* ------------------------------------------------------------------ *)
+(* Static freezability scan                                            *)
+(* ------------------------------------------------------------------ *)
+
+let expr_position_dependent e =
+  Expr.fold
+    (fun u n ->
+      u
+      ||
+      match n with
+      | Expr.Rand _ | Expr.Coord _ -> true
+      | Expr.Sym "t" -> true
+      | _ -> false)
+    false e
+
+let kernel_position_dependent (k : Ir.Kernel.t) =
+  List.exists
+    (fun (a : Field.Assignment.t) -> expr_position_dependent a.Field.Assignment.rhs)
+    k.Ir.Kernel.body
+
+(** A model is freezable when no kernel of either variant reads the time
+    symbol, the cell coordinates or a fluctuation stream: its bulk value
+    is then a pure function of the neighborhood, so a constant
+    neighborhood {e can} be a fixed point (the probe decides whether it
+    is). *)
+let gen_freezable (gen : Pfcore.Genkernels.t) =
+  let pair (p : Pfcore.Genkernels.pair) = [ p.Pfcore.Genkernels.stag; p.Pfcore.Genkernels.main ] in
+  let kernels =
+    (gen.Pfcore.Genkernels.phi_full :: pair gen.Pfcore.Genkernels.phi_split)
+    @ [ gen.Pfcore.Genkernels.projection ]
+    @ (match gen.Pfcore.Genkernels.mu_full with Some k -> [ k ] | None -> [])
+    @ (match gen.Pfcore.Genkernels.mu_split with Some p -> pair p | None -> [])
+  in
+  not (List.exists kernel_position_dependent kernels)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make_sim t id =
+  let c = block_coords t id in
+  let offset = Array.mapi (fun d n -> c.(d) * n) t.block_dims in
+  (* exchange is driven by this module, never by the sim itself *)
+  Pfcore.Timestep.create ~variant_phi:t.variant_phi ~variant_mu:t.variant_mu
+    ?num_domains:t.num_domains ?tile:t.tile ?backend:t.backend ~rank:t.owner.(id)
+    ~exchange:(fun _ _ -> ())
+    ~global_dims:t.global_dims ~offset ~dims:t.block_dims t.gen
+
+(** Block ids along the Morton curve (natural order in 1D, where no
+    Z-curve is defined). *)
+let curve_ids t =
+  if Array.length t.bgrid = 1 then List.init (nblocks t) (fun i -> i)
+  else List.map (block_id t) (Morton.curve t.bgrid)
+
+let stored_cells_of t id =
+  match t.states.(id) with
+  | Active _ -> block_cells t
+  | Frozen _ -> max 1 (block_cells t / (1 lsl (Array.length t.bgrid * t.levels.(id))))
+
+let stored_cells t =
+  let acc = ref 0 in
+  for id = 0 to nblocks t - 1 do
+    acc := !acc + stored_cells_of t id
+  done;
+  !acc
+
+let active_cells t =
+  let acc = ref 0 in
+  Array.iter (function Active _ -> acc := !acc + block_cells t | Frozen _ -> ()) t.states;
+  !acc
+
+let frozen_blocks t =
+  Array.fold_left (fun n -> function Frozen _ -> n + 1 | Active _ -> n) 0 t.states
+
+let create ?(variant_phi = Pfcore.Timestep.Full) ?(variant_mu = Pfcore.Timestep.Full)
+    ?num_domains ?tile ?backend ?(overlap = false) ?(ranks = 1) ?(max_level = 3)
+    ?(adapt_every = 1) ?(mode = Adapt) ~bgrid ~block_dims (gen : Pfcore.Genkernels.t) =
+  let dim = Array.length block_dims in
+  if Array.length bgrid <> dim then invalid_arg "Adaptive.create: rank mismatch";
+  if ranks < 1 then invalid_arg "Adaptive.create: ranks must be positive";
+  if adapt_every < 1 then invalid_arg "Adaptive.create: adapt_every must be positive";
+  if max_level < 1 then invalid_arg "Adaptive.create: max_level must be positive";
+  let nb = Array.fold_left ( * ) 1 bgrid in
+  let t =
+    {
+      comm = Mpisim.create ranks;
+      gen;
+      bgrid = Array.copy bgrid;
+      block_dims = Array.copy block_dims;
+      global_dims = Array.mapi (fun d n -> n * bgrid.(d)) block_dims;
+      n_ranks = ranks;
+      variant_phi;
+      variant_mu;
+      num_domains;
+      tile;
+      backend;
+      overlap;
+      mode;
+      max_level;
+      adapt_every;
+      freezable = gen_freezable gen;
+      states = Array.make nb (Frozen []);
+      levels = Array.make nb 0;
+      owner = Array.make nb 0;
+      step_count = 0;
+      time = 0.;
+      cells_touched = 0;
+      freezes = 0;
+      thaws = 0;
+      migrations = 0;
+      probe_cache = Hashtbl.create 8;
+    }
+  in
+  (* initial owners: uniform weights along the Morton curve *)
+  let assignment, _ = Morton.balance ~n_ranks:ranks ~weights:(fun _ -> 1.) (curve_ids t) in
+  List.iter (fun (id, r) -> t.owner.(id) <- r) assignment;
+  for id = 0 to nb - 1 do
+    t.states.(id) <- Active (make_sim t id)
+  done;
+  t
+
+(** The simulation of every currently active block (initially: all),
+    for writing initial conditions. *)
+let active_sims t =
+  Array.to_list t.states
+  |> List.filter_map (function Active sim -> Some sim | Frozen _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Ghost exchange (frozen neighbors serviced by constant slabs)        *)
+(* ------------------------------------------------------------------ *)
+
+(* Reduction rounds own [Reduce.tag_base ..); the per-face exchange
+   channels and the migration channels each get their own range so no
+   two logical streams ever share a (src, dst, tag) channel. *)
+let exchange_tag_base = 1000
+let migrate_tag_base = 100000
+
+let face_tag t ~recv ~axis ~side =
+  exchange_tag_base
+  + (((recv * Array.length t.bgrid) + axis) * 2)
+  + (match side with Ghost.Low -> 0 | Ghost.High -> 1)
+
+let live_owner t id = Mpisim.live t.comm t.owner.(id)
+
+let exchange_axis_sends t (field : Fieldspec.t) ~axis =
+  Array.iteri
+    (fun id st ->
+      match st with
+      | Active sim when live_owner t id ->
+        let buf = buffer sim field in
+        let send ~side ~dir ~face =
+          let nb = face_neighbor t id ~axis ~dir in
+          match t.states.(nb) with
+          | Frozen _ -> () (* frozen blocks keep no ghost layers *)
+          | Active _ ->
+            Ghost.send_slab t.comm ~src:t.owner.(id) ~dst:t.owner.(nb)
+              ~tag:(face_tag t ~recv:nb ~axis ~side:face) buf ~axis ~side
+        in
+        send ~side:Ghost.Low ~dir:(-1) ~face:Ghost.High;
+        send ~side:Ghost.High ~dir:1 ~face:Ghost.Low
+      | _ -> ())
+    t.states
+
+let exchange_axis_recvs t (field : Fieldspec.t) ~axis =
+  Array.iteri
+    (fun id st ->
+      match st with
+      | Active sim when live_owner t id ->
+        let buf = buffer sim field in
+        let recv ~side ~dir =
+          let nb = face_neighbor t id ~axis ~dir in
+          match t.states.(nb) with
+          | Frozen consts ->
+            (* the slab an all-constant neighbor would have sent *)
+            Ghost.unpack buf ~axis ~side
+              (Ghost.constant_slab buf ~axis (const_of consts field))
+          | Active _ ->
+            Ghost.recv_slab t.comm ~src:t.owner.(nb) ~dst:t.owner.(id)
+              ~tag:(face_tag t ~recv:id ~axis ~side) buf ~axis ~side
+        in
+        recv ~side:Ghost.Low ~dir:(-1);
+        recv ~side:Ghost.High ~dir:1
+      | _ -> ())
+    t.states
+
+let exchange t (field : Fieldspec.t) =
+  Obs.Span.in_lane 0 (fun () ->
+      Obs.Span.with_ ~cat:"comm" ("exchange:" ^ field.Fieldspec.name) (fun () ->
+          for axis = 0 to Array.length t.block_dims - 1 do
+            exchange_axis_sends t field ~axis;
+            exchange_axis_recvs t field ~axis
+          done))
+
+let prime_ghosts t =
+  exchange t (fields t).Pfcore.Model.phi_src;
+  if has_mu t then exchange t (fields t).Pfcore.Model.mu_src
+
+(* ------------------------------------------------------------------ *)
+(* Uniformity scan, probe certificate, freeze / thaw                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Every block dimension must exceed the one-step influence radius
+    (φ stencil + μ stencil over the mid-step exchange, ≤ 4 cells with
+    ghost depth 2) before the Chebyshev-1 freeze criterion is sound;
+    6 leaves a margin. *)
+let min_freeze_dim = 6
+
+let freeze_margin_ok t = Array.for_all (fun n -> n >= min_freeze_dim) t.block_dims
+
+(* Per-storage-component constants of one field's interior, when it is
+   bitwise uniform. *)
+let uniform_field (sim : Pfcore.Timestep.t) (f : Fieldspec.t) =
+  let buf = buffer sim f in
+  let nc = buf.Vm.Buffer.components in
+  let dims = buf.Vm.Buffer.dims in
+  let dim = Array.length dims in
+  let coords = Array.make dim 0 in
+  let cv = Array.init nc (fun c -> Vm.Buffer.get buf ~component:c coords) in
+  let ok = ref true in
+  let rec walk d =
+    if !ok then
+      if d = dim then begin
+        let c = ref 0 in
+        while !ok && !c < nc do
+          if not (bits_equal (Vm.Buffer.get buf ~component:!c coords) cv.(!c)) then
+            ok := false;
+          incr c
+        done
+      end
+      else
+        for i = 0 to dims.(d) - 1 do
+          coords.(d) <- i;
+          walk (d + 1)
+        done
+  in
+  walk 0;
+  if !ok then Some cv else None
+
+(* The frozen representation of a uniform block: both fields of each
+   swap pair share the vertex (at a certified fixed point the step maps
+   src constants onto themselves, so post-swap dst constants coincide). *)
+let scan_block t id =
+  match t.states.(id) with
+  | Frozen consts -> Some consts
+  | Active sim -> (
+    let f = fields t in
+    match uniform_field sim f.Pfcore.Model.phi_src with
+    | None -> None
+    | Some cvp -> (
+      let phi = [ (f.Pfcore.Model.phi_src, cvp); (f.Pfcore.Model.phi_dst, cvp) ] in
+      if not (has_mu t) then Some phi
+      else
+        match uniform_field sim f.Pfcore.Model.mu_src with
+        | None -> None
+        | Some cvm ->
+          Some (phi @ [ (f.Pfcore.Model.mu_src, cvm); (f.Pfcore.Model.mu_dst, cvm) ])))
+
+let consts_equal (a : consts) (b : consts) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun ((f : Fieldspec.t), cv) ((g : Fieldspec.t), cw) ->
+         f.Fieldspec.name = g.Fieldspec.name
+         && Array.length cv = Array.length cw
+         && Array.for_all2 bits_equal cv cw)
+       a b
+
+(** Only bulk vertices freeze: a uniform block sitting {e inside} the
+    interface band is physically an interface and must keep evolving
+    actively (it is about to deviate anyway). *)
+let bulk_vertex t (consts : consts) =
+  Array.for_all
+    (fun v -> not (v > Vm.Reduce.interface_lo && v < Vm.Reduce.interface_hi))
+    (const_of consts (fields t).Pfcore.Model.phi_src)
+
+let probe_key (consts : consts) =
+  String.concat ";"
+    (List.map
+       (fun ((f : Fieldspec.t), cv) ->
+         f.Fieldspec.name ^ ":"
+         ^ String.concat ","
+             (List.map
+                (fun v -> Int64.to_string (Int64.bits_of_float v))
+                (Array.to_list cv)))
+       consts)
+
+let fill_constant (buf : Vm.Buffer.t) (cv : float array) =
+  for c = 0 to buf.Vm.Buffer.components - 1 do
+    Array.fill buf.Vm.Buffer.data (c * buf.Vm.Buffer.comp_stride) buf.Vm.Buffer.comp_stride
+      cv.(c)
+  done
+
+(** Runtime certificate that the constant vertex is a bitwise fixed
+    point: a throwaway 4^d block (default periodic closure — constant
+    preserving) is filled with the constants everywhere and stepped
+    once; the source fields must come back bitwise unchanged.  Per-cell
+    values of a position-independent kernel do not depend on the block
+    shape, schedule or backend (the backends are bitwise equal by
+    contract), so one interpreted probe certifies every configuration.
+    Cached per constant vertex. *)
+let certify t (consts : consts) =
+  t.freezable
+  &&
+  let key = probe_key consts in
+  match Hashtbl.find_opt t.probe_cache key with
+  | Some ok -> ok
+  | None ->
+    let ok =
+      Obs.Span.with_ ~cat:"adapt" "probe" (fun () ->
+          let dims = Array.make (Array.length t.block_dims) 4 in
+          let sim =
+            Pfcore.Timestep.create ~variant_phi:t.variant_phi ~variant_mu:t.variant_mu
+              ~num_domains:1 ~backend:Vm.Engine.Interp ~dims t.gen
+          in
+          List.iter
+            (fun ((f : Fieldspec.t), (buf : Vm.Buffer.t)) ->
+              match
+                List.find_opt
+                  (fun ((g : Fieldspec.t), _) -> g.Fieldspec.name = f.Fieldspec.name)
+                  consts
+              with
+              | Some (_, cv) -> fill_constant buf cv
+              | None -> Vm.Buffer.fill buf 0.)
+            sim.Pfcore.Timestep.block.Vm.Engine.buffers;
+          Pfcore.Timestep.step sim;
+          let fixed f =
+            match uniform_field sim f with
+            | Some cw -> Array.for_all2 bits_equal (const_of consts f) cw
+            | None -> false
+          in
+          fixed (fields t).Pfcore.Model.phi_src
+          && ((not (has_mu t)) || fixed (fields t).Pfcore.Model.mu_src))
+    in
+    Hashtbl.replace t.probe_cache key ok;
+    Obs.Metrics.incr (Obs.Metrics.counter "adapt.probes");
+    ok
+
+(** Re-materialise a frozen block at level 0.  Source and destination
+    fields are filled with the vertex constants — exactly the uniform
+    run's values, since the block sat on a certified fixed point while
+    frozen.  Staggered scratch fields are zero-filled: a staggered value
+    is always written by the stag sweep before the main sweep reads it,
+    so any deterministic fill preserves bitwise equality.  Ghost layers
+    are re-primed by the caller ({!adapt_round}). *)
+let materialize t id (consts : consts) =
+  let sim = make_sim t id in
+  List.iter
+    (fun ((f : Fieldspec.t), (buf : Vm.Buffer.t)) ->
+      match
+        List.find_opt
+          (fun ((g : Fieldspec.t), _) -> g.Fieldspec.name = f.Fieldspec.name)
+          consts
+      with
+      | Some (_, cv) -> fill_constant buf cv
+      | None -> Vm.Buffer.fill buf 0.)
+    sim.Pfcore.Timestep.block.Vm.Engine.buffers;
+  Pfcore.Timestep.restore sim ~step:t.step_count ~time:t.time;
+  t.states.(id) <- Active sim;
+  t.levels.(id) <- 0;
+  t.thaws <- t.thaws + 1
+
+(* ------------------------------------------------------------------ *)
+(* Levels, balance, migration                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Level of a frozen block = clamped Chebyshev block distance to the
+    nearest active block: immediate neighbors of the front coarsen one
+    level, deeper bulk coarsens further.  Adjacent levels then differ by
+    at most 1 (the distance function is 1-Lipschitz under the Chebyshev
+    metric), i.e. the forest is 2:1 balanced by construction. *)
+let recompute_levels t =
+  let actives = ref [] in
+  Array.iteri
+    (fun id st -> match st with Active _ -> actives := id :: !actives | Frozen _ -> ())
+    t.states;
+  Array.iteri
+    (fun id st ->
+      t.levels.(id) <-
+        (match st with
+        | Active _ -> 0
+        | Frozen _ ->
+          if !actives = [] then t.max_level
+          else
+            min t.max_level
+              (List.fold_left (fun m a -> min m (chebyshev_dist t id a)) max_int !actives)))
+    t.states;
+  for id = 0 to nblocks t - 1 do
+    List.iter
+      (fun nb -> assert (abs (t.levels.(id) - t.levels.(nb)) <= 1))
+      (neighbors t id)
+  done
+
+(** Morton rebalance with stored-cell weights; a block changing owner
+    ships its padded field buffers over a dedicated channel range
+    through the self-healing protocol (frozen blocks move as metadata
+    only).  Skipped while any rank is dead — migration onto a crashed
+    rank cannot complete, and the recovery driver is about to roll the
+    whole forest back anyway. *)
+let rebalance t =
+  let all_live = ref true in
+  for r = 0 to t.n_ranks - 1 do
+    if not (Mpisim.live t.comm r) then all_live := false
+  done;
+  if t.n_ranks > 1 && !all_live then begin
+    let assignment, _ =
+      Morton.balance ~n_ranks:t.n_ranks
+        ~weights:(fun id -> float_of_int (stored_cells_of t id))
+        (curve_ids t)
+    in
+    List.iter
+      (fun (id, r) ->
+        let old = t.owner.(id) in
+        if r <> old then begin
+          (match t.states.(id) with
+          | Active sim ->
+            List.iteri
+              (fun fi ((_ : Fieldspec.t), (buf : Vm.Buffer.t)) ->
+                let tag = migrate_tag_base + (id * 16) + fi in
+                Mpisim.send t.comm ~src:old ~dst:r ~tag (Array.copy buf.Vm.Buffer.data);
+                let data = Ghost.fetch t.comm ~src:old ~dst:r ~tag in
+                Array.blit data 0 buf.Vm.Buffer.data 0 (Array.length data))
+              sim.Pfcore.Timestep.block.Vm.Engine.buffers
+          | Frozen _ -> ());
+          t.owner.(id) <- r;
+          t.migrations <- t.migrations + 1
+        end)
+      assignment
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Adaptation round                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Adaptation is a global decision over all blocks; with a dead rank the
+   scan would read stale state (a dead rank's blocks skipped the step),
+   so the crash must surface here even when no exchange touched the dead
+   rank this step.  Deterministic: liveness is a pure function of the
+   fault plan and the step count. *)
+let check_all_live t =
+  for r = 0 to t.n_ranks - 1 do
+    if not (Mpisim.live t.comm r) then raise (Ghost.Rank_crashed r)
+  done
+
+let adapt_round t ~allow_freeze =
+  Obs.Span.with_ ~cat:"adapt" "adapt" (fun () ->
+      check_all_live t;
+      let nb = nblocks t in
+      let was_active = Array.map (function Active _ -> true | Frozen _ -> false) t.states in
+      let scan = Array.init nb (fun id -> scan_block t id) in
+      (* thaw first — a frozen block whose neighborhood left the vertex
+         must be re-materialised before the next step reads it *)
+      let thawed = ref false in
+      for id = 0 to nb - 1 do
+        match t.states.(id) with
+        | Frozen consts ->
+          let stale =
+            List.exists
+              (fun nbr ->
+                match scan.(nbr) with
+                | None -> true
+                | Some c -> not (consts_equal consts c))
+              (neighbors t id)
+          in
+          if stale then begin
+            materialize t id consts;
+            thawed := true
+          end
+        | Active _ -> ()
+      done;
+      (* freeze: decisions read the pre-thaw scan only, so they do not
+         depend on the order blocks are visited in *)
+      if allow_freeze && t.freezable && freeze_margin_ok t then
+        for id = 0 to nb - 1 do
+          if was_active.(id) then
+            match (t.states.(id), scan.(id)) with
+            | Active _, Some consts
+              when bulk_vertex t consts
+                   && List.for_all
+                        (fun nbr ->
+                          match scan.(nbr) with
+                          | Some c -> consts_equal consts c
+                          | None -> false)
+                        (neighbors t id)
+                   && certify t consts ->
+              t.states.(id) <- Frozen consts;
+              t.freezes <- t.freezes + 1
+            | _ -> ()
+        done;
+      recompute_levels t;
+      (* a materialised block's ghosts must hold the uniform run's
+         mid-step exchanged values; re-priming is idempotent on every
+         other active block (their ghosts already equal the true field) *)
+      if !thawed then prime_ghosts t;
+      if allow_freeze then rebalance t)
+
+(** Prime source-field ghosts after initial conditions, then run the
+    initial adaptation (both modes — a [Static] forest is refined
+    exactly once, here). *)
+let prime t =
+  prime_ghosts t;
+  adapt_round t ~allow_freeze:true
+
+(* ------------------------------------------------------------------ *)
+(* Stepping                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let each_active t f =
+  Array.iteri
+    (fun id st -> match st with Active sim when live_owner t id -> f sim | _ -> ())
+    t.states
+
+let step_sequential t =
+  each_active t Pfcore.Timestep.phase_phi;
+  exchange t (fields t).Pfcore.Model.phi_dst;
+  each_active t Pfcore.Timestep.phase_mu;
+  if has_mu t then exchange t (fields t).Pfcore.Model.mu_dst;
+  each_active t Pfcore.Timestep.finish
+
+(* A pending axis-0 completion: a posted receive, or the local unpack of
+   a frozen neighbor's constant slab (kept in drain position so the
+   overlapped exchange stays bitwise identical to the sequential one). *)
+type pending = Recv of Ghost.pending | Fill of (unit -> unit)
+
+let post_axis0_overlap t (field : Fieldspec.t) =
+  let axis = 0 in
+  Array.iteri
+    (fun id st ->
+      match st with
+      | Active sim when live_owner t id ->
+        let buf = buffer sim field in
+        let send ~side ~dir ~face =
+          let nb = face_neighbor t id ~axis ~dir in
+          match t.states.(nb) with
+          | Frozen _ -> ()
+          | Active _ ->
+            Ghost.isend_slab t.comm ~src:t.owner.(id) ~dst:t.owner.(nb)
+              ~tag:(face_tag t ~recv:nb ~axis ~side:face) buf ~axis ~side
+        in
+        send ~side:Ghost.Low ~dir:(-1) ~face:Ghost.High;
+        send ~side:Ghost.High ~dir:1 ~face:Ghost.Low
+      | _ -> ())
+    t.states;
+  let pending = ref [] in
+  Array.iteri
+    (fun id st ->
+      match st with
+      | Active sim when live_owner t id ->
+        let buf = buffer sim field in
+        let post ~side ~dir =
+          let nb = face_neighbor t id ~axis ~dir in
+          match t.states.(nb) with
+          | Frozen consts ->
+            pending :=
+              Fill
+                (fun () ->
+                  Ghost.unpack buf ~axis ~side
+                    (Ghost.constant_slab buf ~axis (const_of consts field)))
+              :: !pending
+          | Active _ ->
+            pending :=
+              Recv
+                (Ghost.irecv_slab t.comm ~src:t.owner.(nb) ~dst:t.owner.(id)
+                   ~tag:(face_tag t ~recv:id ~axis ~side) buf ~axis ~side)
+              :: !pending
+        in
+        post ~side:Ghost.Low ~dir:(-1);
+        post ~side:Ghost.High ~dir:1
+      | _ -> ())
+    t.states;
+  List.rev !pending
+
+(* Mirror of [Forest.step_overlapped] over the adaptive forest: the
+   axis-0 φ_dst exchange flies under the deep-interior μ sweep of the
+   active blocks. *)
+let step_overlapped t =
+  each_active t Pfcore.Timestep.phase_phi;
+  if not (has_mu t) then begin
+    exchange t (fields t).Pfcore.Model.phi_dst;
+    each_active t Pfcore.Timestep.finish
+  end
+  else begin
+    let phi_dst = (fields t).Pfcore.Model.phi_dst in
+    let pending =
+      Obs.Span.in_lane 0 (fun () ->
+          Obs.Span.with_ ~cat:"comm" ("exchange.overlap:" ^ phi_dst.Fieldspec.name)
+            (fun () -> post_axis0_overlap t phi_dst))
+    in
+    each_active t Pfcore.Timestep.phase_mu_interior;
+    Obs.Span.in_lane 0 (fun () ->
+        Obs.Span.with_ ~cat:"comm" ("exchange.wait:" ^ phi_dst.Fieldspec.name) (fun () ->
+            List.iter
+              (function Recv p -> Ghost.await_slab t.comm p | Fill f -> f ())
+              pending;
+            for axis = 1 to Array.length t.block_dims - 1 do
+              exchange_axis_sends t phi_dst ~axis;
+              exchange_axis_recvs t phi_dst ~axis
+            done));
+    each_active t Pfcore.Timestep.phase_mu_shell;
+    exchange t (fields t).Pfcore.Model.mu_dst;
+    each_active t Pfcore.Timestep.finish
+  end
+
+(** One lockstep step over the active blocks, followed by the adaptation
+    round (thaws every step — a correctness matter; freezing, level
+    recomputation and Morton rebalance every [adapt_every] steps in
+    [Adapt] mode). *)
+let step t =
+  Obs.Span.with_ ~cat:"step" ~args:[ ("step", float_of_int t.step_count) ] "step"
+    (fun () ->
+      Mpisim.begin_step t.comm ~step:t.step_count;
+      if t.overlap then step_overlapped t else step_sequential t;
+      Mpisim.finalize t.comm);
+  t.cells_touched <- t.cells_touched + active_cells t;
+  t.step_count <- t.step_count + 1;
+  t.time <- t.time +. t.gen.Pfcore.Genkernels.params.Pfcore.Params.dt;
+  let allow_freeze =
+    match t.mode with Adapt -> t.step_count mod t.adapt_every = 0 | Static -> false
+  in
+  adapt_round t ~allow_freeze
+
+let run ?(on_step = fun (_ : t) -> ()) t ~steps =
+  for _ = 1 to steps do
+    step t;
+    on_step t
+  done
+
+let step_count t = t.step_count
+
+(* ------------------------------------------------------------------ *)
+(* Cell access and canonical reductions                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Read one interior cell by global coordinates — the oracle battery's
+    probe for adaptive-vs-uniform bitwise equality (frozen blocks answer
+    from their constants). *)
+let get t (field : Fieldspec.t) ~component global =
+  let dim = Array.length t.block_dims in
+  let bc = Array.init dim (fun d -> global.(d) / t.block_dims.(d)) in
+  let local = Array.init dim (fun d -> global.(d) mod t.block_dims.(d)) in
+  match t.states.(block_id t bc) with
+  | Active sim -> Vm.Buffer.get (buffer sim field) ~component local
+  | Frozen consts -> (const_of consts field).(component)
+
+(* Canonical nodes of a frozen block: same tree segments an active block
+   would publish, with the constant read in place of the buffer. *)
+let frozen_partial t id (consts : consts) (field : Fieldspec.t) cellfn op :
+    Vm.Reduce.partial =
+  let dim = Array.length t.block_dims in
+  let gdims = t.global_dims in
+  let n = Vm.Reduce.total_cells gdims in
+  let c = block_coords t id in
+  let offset = Array.mapi (fun d bd -> c.(d) * bd) t.block_dims in
+  let f =
+    match cellfn with
+    | Vm.Reduce.Component comp ->
+      let v = (const_of consts field).(comp) in
+      fun _ -> v
+    | Vm.Reduce.Interface ->
+      let cv = const_of consts field in
+      let hit =
+        Array.exists
+          (fun v -> v > Vm.Reduce.interface_lo && v < Vm.Reduce.interface_hi)
+          cv
+      in
+      let v = if hit then 1. else 0. in
+      fun _ -> v
+    | Vm.Reduce.Custom fn ->
+      fun gi ->
+        let g = Array.make dim 0 in
+        let rem = ref gi in
+        for d = 0 to dim - 1 do
+          g.(d) <- !rem mod gdims.(d);
+          rem := !rem / gdims.(d)
+        done;
+        fn g
+  in
+  let acc = ref [] in
+  let coords = Array.copy offset in
+  let rec walk d =
+    if d = 0 then begin
+      coords.(0) <- offset.(0);
+      let a = Vm.Reduce.global_index gdims coords in
+      let b = a + t.block_dims.(0) in
+      acc := Vm.Reduce.segment ~n f op a b @ !acc
+    end
+    else
+      for i = 0 to t.block_dims.(d) - 1 do
+        coords.(d) <- offset.(d) + i;
+        walk (d - 1)
+      done
+  in
+  walk (dim - 1);
+  !acc
+
+(** Deterministic scalar reduction over the adaptive forest: active
+    blocks reduce their buffers through the pooled tiled sweep, frozen
+    blocks publish the canonical nodes of their constants, per-rank node
+    sets combine over the fixed rank tree — bitwise identical to the
+    same reduction over the uniform fine grid, whatever is frozen. *)
+let scalar ?backend ?num_domains ?tile t (field : Fieldspec.t) cellfn op =
+  let per_rank = Array.make t.n_ranks [] in
+  for id = nblocks t - 1 downto 0 do
+    let p =
+      match t.states.(id) with
+      | Active sim ->
+        Vm.Reduce.block_partial
+          ~backend:(Option.value backend ~default:sim.Pfcore.Timestep.backend)
+          ~num_domains:
+            (Option.value num_domains ~default:sim.Pfcore.Timestep.num_domains)
+          ?tile:(match tile with Some _ -> tile | None -> sim.Pfcore.Timestep.tile)
+          sim.Pfcore.Timestep.block field cellfn op
+      | Frozen consts -> frozen_partial t id consts field cellfn op
+    in
+    per_rank.(t.owner.(id)) <- p @ per_rank.(t.owner.(id))
+  done;
+  let nodes = Reduce.tree_gather t.comm per_rank in
+  Vm.Reduce.assemble ~n:(Vm.Reduce.total_cells t.global_dims) op [ nodes ]
+
+let phase_fractions ?backend ?num_domains ?tile t =
+  let phi = (fields t).Pfcore.Model.phi_src in
+  let n = float_of_int (Vm.Reduce.total_cells t.global_dims) in
+  Array.init phi.Fieldspec.components (fun c ->
+      scalar ?backend ?num_domains ?tile t phi (Vm.Reduce.Component c) Vm.Reduce.Sum /. n)
+
+let interface_cells ?backend ?num_domains ?tile t =
+  scalar ?backend ?num_domains ?tile t (fields t).Pfcore.Model.phi_src Vm.Reduce.Interface
+    Vm.Reduce.Sum
+
+let interface_fraction ?backend ?num_domains ?tile t =
+  interface_cells ?backend ?num_domains ?tile t
+  /. float_of_int (Vm.Reduce.total_cells t.global_dims)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Cells-touched savings over the uniform run so far (≥ 1; 1 = nothing
+    ever froze). *)
+let savings t =
+  if t.cells_touched = 0 then 1.
+  else
+    float_of_int (Vm.Reduce.total_cells t.global_dims * t.step_count)
+    /. float_of_int t.cells_touched
+
+(** Legacy-VTK dump of the global φ field plus the per-cell refinement
+    level (frozen blocks answer from their constants). *)
+let write_vtk t path =
+  let p = t.gen.Pfcore.Genkernels.params in
+  let gd = t.global_dims in
+  let dim = Array.length gd in
+  let nx = gd.(0) in
+  let ny = if dim > 1 then gd.(1) else 1 in
+  let nz = if dim > 2 then gd.(2) else 1 in
+  let oc = open_out path in
+  Printf.fprintf oc "# vtk DataFile Version 3.0\npfgen adaptive forest (%s)\nASCII\n"
+    p.Pfcore.Params.name;
+  Printf.fprintf oc "DATASET STRUCTURED_POINTS\nDIMENSIONS %d %d %d\n" nx ny nz;
+  Printf.fprintf oc "ORIGIN 0 0 0\nSPACING %g %g %g\n" p.Pfcore.Params.dx p.Pfcore.Params.dx
+    p.Pfcore.Params.dx;
+  Printf.fprintf oc "POINT_DATA %d\n" (nx * ny * nz);
+  let coords = Array.make dim 0 in
+  let emit name f =
+    Printf.fprintf oc "SCALARS %s double 1\nLOOKUP_TABLE default\n" name;
+    for z = 0 to nz - 1 do
+      for y = 0 to ny - 1 do
+        for x = 0 to nx - 1 do
+          coords.(0) <- x;
+          if dim > 1 then coords.(1) <- y;
+          if dim > 2 then coords.(2) <- z;
+          Printf.fprintf oc "%.6g\n" (f coords)
+        done
+      done
+    done
+  in
+  let phi = (fields t).Pfcore.Model.phi_src in
+  for c = 0 to p.Pfcore.Params.n_phases - 1 do
+    emit (Printf.sprintf "phi_%d" c) (fun g -> get t phi ~component:c g)
+  done;
+  emit "level" (fun g ->
+      let bc = Array.init dim (fun d -> g.(d) / t.block_dims.(d)) in
+      float_of_int t.levels.(block_id t bc));
+  close_out oc

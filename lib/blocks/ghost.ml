@@ -62,6 +62,23 @@ let unpack buf ~axis ~side data =
       buf.Vm.Buffer.data.(idx) <- data.(!k);
       incr k)
 
+(** The slab an all-constant neighbor would send: [cv.(c)] for storage
+    component [c] at every cell.  {!iter_slab} visits components fastest
+    within each cell, so the wire image is the component cycle repeated —
+    [unpack]ing this is bitwise identical to receiving from a neighbor
+    whose padded buffer holds exactly these per-component constants.  The
+    adaptive forest uses it to service exchanges on behalf of frozen
+    blocks without materializing them. *)
+let constant_slab buf ~axis (cv : float array) =
+  if Array.length cv <> buf.Vm.Buffer.components then
+    invalid_arg "Ghost.constant_slab: component count mismatch";
+  let out = Array.make (slab_size buf axis) 0. in
+  let nc = Array.length cv in
+  for i = 0 to Array.length out - 1 do
+    out.(i) <- cv.(i mod nc)
+  done;
+  out
+
 (** Ghost bytes exchanged per block per field per full exchange — the
     message volume used by the network model. *)
 let exchange_bytes buf =

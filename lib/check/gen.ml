@@ -593,3 +593,196 @@ let arb_overlap : overlap_sample QCheck.arbitrary =
          ov_crash_step;
          ov_ckpt_every;
        })
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 11: deterministic reductions                                 *)
+(* ------------------------------------------------------------------ *)
+
+type reduce_sample = {
+  rd_seed : int;        (** initial-condition seed *)
+  rd_grid : int array;  (** rank grid of the forest leg *)
+  rd_tile : int array;  (** loop-depth tile shape; 0 = full extent *)
+  rd_domains : int;     (** pool width: 1, 2 or 4 *)
+  rd_jit : bool;        (** subject legs read cells through the JIT path *)
+  rd_op : int;          (** 0 = Sum, 1 = Min, 2 = Max *)
+  rd_cell : int;        (** 0/1 = Component, 2 = Interface, 3 = Custom NaN *)
+  rd_steps : int;       (** steps to evolve before reducing *)
+  rd_plan_seed : int;   (** keys the Philox fault-decision streams *)
+  rd_drop : float;
+  rd_delay : float;
+  rd_dup : float;
+}
+
+let pp_reduce ppf (s : reduce_sample) =
+  Fmt.pf ppf
+    "seed %d, %s rank grid, tile %s, %d domain(s), %s reader, op %d, cellfn %d, \
+     %d step(s), plan %d (drop %.2f delay %.2f dup %.2f)"
+    s.rd_seed
+    (String.concat "x" (Array.to_list (Array.map string_of_int s.rd_grid)))
+    (String.concat "x" (Array.to_list (Array.map string_of_int s.rd_tile)))
+    s.rd_domains
+    (if s.rd_jit then "jit" else "interp")
+    s.rd_op s.rd_cell s.rd_steps s.rd_plan_seed s.rd_drop s.rd_delay s.rd_dup
+
+(* Shrink toward an unfaulted serial interpreted sum of component 0 on a
+   single rank. *)
+let shrink_reduce (s : reduce_sample) yield =
+  if s.rd_drop > 0. then yield { s with rd_drop = 0. };
+  if s.rd_delay > 0. then yield { s with rd_delay = 0. };
+  if s.rd_dup > 0. then yield { s with rd_dup = 0. };
+  if s.rd_jit then yield { s with rd_jit = false };
+  if s.rd_steps > 0 then yield { s with rd_steps = s.rd_steps - 1 };
+  if s.rd_domains > 1 then yield { s with rd_domains = 1 };
+  Array.iteri
+    (fun d x ->
+      if x > 0 then begin
+        let t = Array.copy s.rd_tile in
+        t.(d) <- 0;
+        yield { s with rd_tile = t }
+      end)
+    s.rd_tile;
+  if Array.fold_left ( * ) 1 s.rd_grid > 1 then yield { s with rd_grid = [| 1; 1 |] };
+  if s.rd_cell > 0 then yield { s with rd_cell = 0 };
+  if s.rd_op > 0 then yield { s with rd_op = 0 }
+
+let arb_reduce : reduce_sample QCheck.arbitrary =
+  QCheck.make
+    ~print:(Fmt.str "%a" pp_reduce)
+    ~shrink:shrink_reduce
+    (let* rd_seed = G.int_bound 10_000 in
+     let* rd_grid = G.oneofl [ [| 1; 1 |]; [| 2; 1 |]; [| 1; 2 |]; [| 2; 2 |] ] in
+     (* degenerate tiles included on purpose: the canonical tree must make
+        every decomposition publish the same nodes *)
+     let* rd_tile = G.array_size (G.return 2) (G.oneofl [ 0; 1; 2; 3; 5 ]) in
+     let* rd_domains = G.oneofl [ 1; 2; 4 ] in
+     let* rd_jit = G.bool in
+     let* rd_op = G.int_bound 2 in
+     let* rd_cell = G.int_bound 3 in
+     let* rd_steps = G.int_bound 2 in
+     let* rd_plan_seed = G.int_bound 1000 in
+     let* rd_drop = G.oneofl [ 0.; 0.05; 0.1 ] in
+     let* rd_delay = G.oneofl [ 0.; 0.08; 0.15 ] in
+     let* rd_dup = G.oneofl [ 0.; 0.05; 0.1 ] in
+     G.return
+       {
+         rd_seed;
+         rd_grid;
+         rd_tile;
+         rd_domains;
+         rd_jit;
+         rd_op;
+         rd_cell;
+         rd_steps;
+         rd_plan_seed;
+         rd_drop;
+         rd_delay;
+         rd_dup;
+       })
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 5 extension: adaptive block forests                          *)
+(* ------------------------------------------------------------------ *)
+
+type adaptive_sample = {
+  ad_seed : int;         (** keys the sharp-disc initial condition *)
+  ad_bgrid : int array;  (** blocks per axis; every block is 6x6 cells *)
+  ad_ranks : int;        (** simulated ranks the blocks are balanced over *)
+  ad_static : bool;      (** Static mode: refine once after prime *)
+  ad_adapt_every : int;
+  ad_steps : int;
+  ad_jit : bool;
+  ad_domains : int;
+  ad_tile : int array;
+  ad_plan_seed : int;
+  ad_drop : float;
+  ad_delay : float;
+  ad_dup : float;
+  ad_crash : bool;       (** kill a rank mid-run; recovery must roll back *)
+  ad_crash_rank : int;
+  ad_crash_step : int;
+  ad_ckpt_every : int;
+}
+
+let pp_adaptive ppf (s : adaptive_sample) =
+  Fmt.pf ppf
+    "seed %d, %s blocks of 6x6 on %d rank(s), %s mode (every %d), %d step(s), \
+     tile %s, %d domain(s), %s backend, plan %d (drop %.2f delay %.2f dup %.2f)%s"
+    s.ad_seed
+    (String.concat "x" (Array.to_list (Array.map string_of_int s.ad_bgrid)))
+    s.ad_ranks
+    (if s.ad_static then "static" else "adapt")
+    s.ad_adapt_every s.ad_steps
+    (String.concat "x" (Array.to_list (Array.map string_of_int s.ad_tile)))
+    s.ad_domains
+    (if s.ad_jit then "jit" else "interp")
+    s.ad_plan_seed s.ad_drop s.ad_delay s.ad_dup
+    (if s.ad_crash then
+       Printf.sprintf ", rank %d dies at step %d, checkpoint every %d" s.ad_crash_rank
+         s.ad_crash_step s.ad_ckpt_every
+     else "")
+
+(* Shrink toward one clean interpreted serial step on the smallest forest. *)
+let shrink_adaptive (s : adaptive_sample) yield =
+  if s.ad_crash then yield { s with ad_crash = false };
+  if s.ad_drop > 0. then yield { s with ad_drop = 0. };
+  if s.ad_delay > 0. then yield { s with ad_delay = 0. };
+  if s.ad_dup > 0. then yield { s with ad_dup = 0. };
+  if s.ad_jit then yield { s with ad_jit = false };
+  if (not s.ad_crash) && s.ad_steps > 1 then yield { s with ad_steps = s.ad_steps - 1 };
+  if s.ad_domains > 1 then yield { s with ad_domains = 1 };
+  Array.iteri
+    (fun d x ->
+      if x > 0 then begin
+        let t = Array.copy s.ad_tile in
+        t.(d) <- 0;
+        yield { s with ad_tile = t }
+      end)
+    s.ad_tile;
+  if (not s.ad_crash) && s.ad_ranks > 1 then yield { s with ad_ranks = 1 };
+  if Array.fold_left ( * ) 1 s.ad_bgrid > 4 then yield { s with ad_bgrid = [| 2; 2 |] };
+  if s.ad_adapt_every > 1 then yield { s with ad_adapt_every = 1 };
+  if not s.ad_static then yield { s with ad_static = true }
+
+let arb_adaptive : adaptive_sample QCheck.arbitrary =
+  QCheck.make
+    ~print:(Fmt.str "%a" pp_adaptive)
+    ~shrink:shrink_adaptive
+    (let* ad_seed = G.int_bound 10_000 in
+     let* ad_bgrid = G.oneofl [ [| 2; 2 |]; [| 4; 2 |]; [| 2; 4 |] ] in
+     let* ad_ranks = G.int_range 1 4 in
+     let* ad_static = G.bool in
+     let* ad_adapt_every = G.int_range 1 2 in
+     let* ad_jit = G.bool in
+     let* ad_domains = G.oneofl [ 1; 2; 4 ] in
+     let* ad_tile = G.array_size (G.return 2) (G.oneofl [ 0; 1; 2; 3; 5 ]) in
+     let* ad_plan_seed = G.int_bound 1000 in
+     let* ad_drop = G.oneofl [ 0.; 0.05; 0.1 ] in
+     let* ad_delay = G.oneofl [ 0.; 0.08; 0.15 ] in
+     let* ad_dup = G.oneofl [ 0.; 0.05; 0.1 ] in
+     let* ad_crash = G.bool in
+     let* ad_crash_step = G.int_range 1 2 in
+     let* tail = G.int_range 1 2 in
+     let* ad_ckpt_every = G.int_range 1 2 in
+     let* steps = G.int_range 1 3 in
+     let* crash_rank_u = G.int_bound 1000 in
+     let ranks = if ad_crash then max 2 ad_ranks else ad_ranks in
+     G.return
+       {
+         ad_seed;
+         ad_bgrid;
+         ad_ranks = ranks;
+         ad_static;
+         ad_adapt_every;
+         ad_steps = (if ad_crash then ad_crash_step + tail else steps);
+         ad_jit;
+         ad_domains;
+         ad_tile;
+         ad_plan_seed;
+         ad_drop;
+         ad_delay;
+         ad_dup;
+         ad_crash;
+         ad_crash_rank = crash_rank_u mod ranks;
+         ad_crash_step;
+         ad_ckpt_every;
+       })

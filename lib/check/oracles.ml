@@ -620,6 +620,240 @@ let overlapped_vs_sequential ~count =
       check fields.Pfcore.Model.phi_src && check fields.Pfcore.Model.mu_src)
 
 (* ------------------------------------------------------------------ *)
+(* Oracle 11: canonical reductions vs. serial single-tile reference    *)
+(* ------------------------------------------------------------------ *)
+
+let reduce_op = function 0 -> Vm.Reduce.Sum | 1 -> Vm.Reduce.Min | _ -> Vm.Reduce.Max
+
+(* The custom cell function reads *global* coordinates only, so every
+   executor sees the same per-cell value; the Philox-keyed NaN holes
+   exercise the C99 min/max semantics across partial boundaries. *)
+let reduce_cellfn ~seed = function
+  | 0 -> Vm.Reduce.Component 0
+  | 1 -> Vm.Reduce.Component 1
+  | 2 -> Vm.Reduce.Interface
+  | _ ->
+    Vm.Reduce.Custom
+      (fun g ->
+        let cell = Vm.Reduce.global_index global2 g in
+        let u = Philox.symmetric ~cell ~step:seed ~slot:11 in
+        if u > 0.6 then Float.nan else u)
+
+(* The tentpole claim for reductions: the canonical-tree scalar is a
+   function of the field values alone.  The serial single-tile interpreted
+   reference must be reproduced bitwise by (a) a pooled, tiled, arbitrary-
+   backend sweep of the same block, and (b) a decomposed forest combining
+   per-rank partials over the fixed rank tree — with drop/delay/duplicate
+   fault plans healing invisibly on the reduction channels. *)
+let reduce_vs_serial ~count =
+  QCheck.Test.make
+    ~name:"oracle11: pooled/tiled/forest reduction = serial reference (bitwise)" ~count
+    Gen.arb_reduce
+    (fun s ->
+      let op = reduce_op s.Gen.rd_op in
+      let cellfn = reduce_cellfn ~seed:s.Gen.rd_seed s.Gen.rd_cell in
+      let gen = Lazy.force curvature_gen in
+      let phi = gen.Pfcore.Genkernels.fields.Pfcore.Model.phi_src in
+      let single = Pfcore.Timestep.create ~dims:global2 gen in
+      init_model_phi single ~seed:s.Gen.rd_seed;
+      Pfcore.Timestep.prime single;
+      Pfcore.Timestep.run single ~steps:s.Gen.rd_steps;
+      let reference =
+        Vm.Reduce.scalar ~backend:Vm.Engine.Interp ~num_domains:1
+          single.Pfcore.Timestep.block phi cellfn op
+      in
+      let backend = if s.Gen.rd_jit then Vm.Engine.Jit else Vm.Engine.Interp in
+      let pooled =
+        Vm.Reduce.scalar ~backend ~num_domains:s.Gen.rd_domains ~tile:s.Gen.rd_tile
+          single.Pfcore.Timestep.block phi cellfn op
+      in
+      let forest =
+        Blocks.Forest.create ~num_domains:s.Gen.rd_domains ~tile:s.Gen.rd_tile ~backend
+          ~grid:s.Gen.rd_grid
+          ~block_dims:
+            [| global2.(0) / s.Gen.rd_grid.(0); global2.(1) / s.Gen.rd_grid.(1) |]
+          gen
+      in
+      Array.iter
+        (fun sim -> init_model_phi sim ~seed:s.Gen.rd_seed)
+        forest.Blocks.Forest.sims;
+      Blocks.Forest.prime forest;
+      if s.Gen.rd_drop > 0. || s.Gen.rd_delay > 0. || s.Gen.rd_dup > 0. then
+        Blocks.Mpisim.set_fault_plan forest.Blocks.Forest.comm
+          (Some
+             {
+               Blocks.Faultplan.seed = s.Gen.rd_plan_seed;
+               drop = s.Gen.rd_drop;
+               delay = s.Gen.rd_delay;
+               duplicate = s.Gen.rd_dup;
+               max_delay = 3;
+               crash = None;
+             });
+      Blocks.Forest.run forest ~steps:s.Gen.rd_steps;
+      let dist =
+        Blocks.Reduce.forest_scalar ~backend ~num_domains:s.Gen.rd_domains
+          ~tile:s.Gen.rd_tile forest phi cellfn op
+      in
+      bits_equal reference pooled && bits_equal reference dist)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 5 extension: adaptive forest vs. uniform fine grid           *)
+(* ------------------------------------------------------------------ *)
+
+let adaptive_global (s : Gen.adaptive_sample) =
+  [| 6 * s.Gen.ad_bgrid.(0); 6 * s.Gen.ad_bgrid.(1) |]
+
+(* A sharp 0/1 disc confined to block (0,0): bulk blocks hold exact
+   constants, so a correct adaptive forest will actually freeze some of
+   them — the oracle is vacuous otherwise.  Global coordinates keep the
+   initial condition identical across decompositions. *)
+let init_sharp_phi (sim : Pfcore.Timestep.t) ~seed =
+  let fields = sim.Pfcore.Timestep.gen.Pfcore.Genkernels.fields in
+  let block = sim.Pfcore.Timestep.block in
+  let buf = Vm.Engine.buffer block fields.Pfcore.Model.phi_src in
+  let off = block.Vm.Engine.offset in
+  let radius = 2. +. (0.4 *. float_of_int (seed mod 3)) in
+  Vm.Buffer.init buf (fun coords comp ->
+      let x = float_of_int (coords.(0) + off.(0)) +. 0.5 -. 3. in
+      let y = float_of_int (coords.(1) + off.(1)) +. 0.5 -. 3. in
+      let v = if (x *. x) +. (y *. y) < radius *. radius then 1. else 0. in
+      if comp = 0 then v else 1. -. v)
+
+let make_adaptive (s : Gen.adaptive_sample) =
+  let gen = Lazy.force curvature_gen in
+  let af =
+    Blocks.Adaptive.create
+      ~mode:(if s.Gen.ad_static then Blocks.Adaptive.Static else Blocks.Adaptive.Adapt)
+      ~adapt_every:s.Gen.ad_adapt_every ~ranks:s.Gen.ad_ranks
+      ~num_domains:s.Gen.ad_domains ~tile:s.Gen.ad_tile
+      ?backend:(if s.Gen.ad_jit then Some Vm.Engine.Jit else None)
+      ~bgrid:s.Gen.ad_bgrid ~block_dims:[| 6; 6 |] gen
+  in
+  List.iter
+    (fun sim -> init_sharp_phi sim ~seed:s.Gen.ad_seed)
+    (Blocks.Adaptive.active_sims af);
+  af
+
+let adaptive_fault_plan ?crash (s : Gen.adaptive_sample) =
+  if s.Gen.ad_drop > 0. || s.Gen.ad_delay > 0. || s.Gen.ad_dup > 0. || crash <> None
+  then
+    Some
+      {
+        Blocks.Faultplan.seed = s.Gen.ad_plan_seed;
+        drop = s.Gen.ad_drop;
+        delay = s.Gen.ad_delay;
+        duplicate = s.Gen.ad_dup;
+        max_delay = 3;
+        crash;
+      }
+  else None
+
+(* Freezing bulk blocks to constants, refining around the interface,
+   Morton rebalancing and servicing frozen exchanges with constant slabs
+   are all semantics-free: the adaptive forest (Static or Adapt mode, any
+   rank count / pool width / tile / backend, under healing fault plans)
+   must reproduce the uniform fine-grid run cell for cell — and its
+   canonical reduction, frozen-block nodes included, must be bitwise the
+   uniform block's. *)
+let adaptive_vs_uniform ~count =
+  QCheck.Test.make
+    ~name:"oracle5: adaptive forest = uniform fine grid (bitwise)" ~count
+    Gen.arb_adaptive
+    (fun s ->
+      let s = { s with Gen.ad_crash = false } in
+      let gen = Lazy.force curvature_gen in
+      let gd = adaptive_global s in
+      let phi = gen.Pfcore.Genkernels.fields.Pfcore.Model.phi_src in
+      let uniform = Pfcore.Timestep.create ~dims:gd gen in
+      init_sharp_phi uniform ~seed:s.Gen.ad_seed;
+      Pfcore.Timestep.prime uniform;
+      Pfcore.Timestep.run uniform ~steps:s.Gen.ad_steps;
+      let af = make_adaptive s in
+      Blocks.Mpisim.set_fault_plan af.Blocks.Adaptive.comm (adaptive_fault_plan s);
+      Blocks.Adaptive.prime af;
+      Blocks.Adaptive.run af ~steps:s.Gen.ad_steps;
+      let ubuf = Vm.Engine.buffer uniform.Pfcore.Timestep.block phi in
+      let ok = ref true in
+      for gy = 0 to gd.(1) - 1 do
+        for gx = 0 to gd.(0) - 1 do
+          for c = 0 to phi.Fieldspec.components - 1 do
+            let a = Vm.Buffer.get ubuf ~component:c [| gx; gy |] in
+            let b = Blocks.Adaptive.get af phi ~component:c [| gx; gy |] in
+            if not (bits_equal a b) then ok := false
+          done
+        done
+      done;
+      let usum =
+        Vm.Reduce.scalar ~backend:Vm.Engine.Interp ~num_domains:1
+          uniform.Pfcore.Timestep.block phi Vm.Reduce.Interface Vm.Reduce.Sum
+      in
+      let asum =
+        Blocks.Adaptive.scalar af phi Vm.Reduce.Interface Vm.Reduce.Sum
+      in
+      !ok && bits_equal usum asum)
+
+(* Adaptive snapshot v2: capture → encode → decode → restore into a forest
+   in a *different* refinement state must reproduce the captured state
+   exactly — frozen constants, levels and ownership included. *)
+let adaptive_snapshot_roundtrip ~count =
+  QCheck.Test.make
+    ~name:"oracle5: adaptive snapshot encode/decode/restore = identity (bitwise)" ~count
+    Gen.arb_adaptive
+    (fun s ->
+      let s = { s with Gen.ad_crash = false } in
+      let af = make_adaptive s in
+      Blocks.Adaptive.prime af;
+      Blocks.Adaptive.run af ~steps:s.Gen.ad_steps;
+      let snap = Resilience.Snapshot.capture_adaptive af in
+      let decoded =
+        Resilience.Snapshot.decode_adaptive (Resilience.Snapshot.encode_adaptive snap)
+      in
+      if not (Resilience.Snapshot.equal_adaptive snap decoded) then false
+      else begin
+        let fresh = make_adaptive { s with Gen.ad_seed = s.Gen.ad_seed + 1 } in
+        Blocks.Adaptive.prime fresh;
+        Resilience.Snapshot.restore_adaptive decoded fresh;
+        Resilience.Snapshot.equal_adaptive snap
+          (Resilience.Snapshot.capture_adaptive fresh)
+      end)
+
+(* Crash + rollback + replay over the adaptive forest: the recovery driver
+   restores refinement state alongside buffers, and replayed adaptation
+   decisions are pure functions of the restored state — so the protected
+   run must end bitwise identical to an undisturbed one, freeze/thaw and
+   rebalance schedule included. *)
+let adaptive_crash_restart ~count =
+  QCheck.Test.make
+    ~name:"oracle5: adaptive crash + rollback + replay = undisturbed run (bitwise)"
+    ~count Gen.arb_adaptive
+    (fun s ->
+      let ranks = max 2 s.Gen.ad_ranks in
+      let s =
+        {
+          s with
+          Gen.ad_crash = true;
+          ad_ranks = ranks;
+          ad_crash_rank = s.Gen.ad_crash_rank mod ranks;
+          ad_steps = max s.Gen.ad_steps (s.Gen.ad_crash_step + 1);
+        }
+      in
+      let clean = make_adaptive s in
+      Blocks.Adaptive.prime clean;
+      Blocks.Adaptive.run clean ~steps:s.Gen.ad_steps;
+      let faulty = make_adaptive s in
+      Blocks.Adaptive.prime faulty;
+      Blocks.Mpisim.set_fault_plan faulty.Blocks.Adaptive.comm
+        (adaptive_fault_plan ~crash:(s.Gen.ad_crash_rank, s.Gen.ad_crash_step) s);
+      let stats =
+        Resilience.Recovery.run_protected_adaptive ~every:s.Gen.ad_ckpt_every
+          ~steps:s.Gen.ad_steps faulty
+      in
+      stats.Resilience.Recovery.restarts >= 1
+      && Resilience.Snapshot.equal_adaptive
+           (Resilience.Snapshot.capture_adaptive clean)
+           (Resilience.Snapshot.capture_adaptive faulty))
+
+(* ------------------------------------------------------------------ *)
 (* The harness's test list                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -639,5 +873,9 @@ let all ~count =
       jit_vs_interp ~count:(max 3 (count / 3));
       farm_vs_solo ~count:(max 2 (count / 8));
       overlapped_vs_sequential ~count:(max 2 (count / 8));
+      reduce_vs_serial ~count:(max 3 (count / 4));
+      adaptive_vs_uniform ~count:(max 2 (count / 8));
+      adaptive_snapshot_roundtrip ~count:(max 2 (count / 8));
+      adaptive_crash_restart ~count:(max 2 (count / 8));
     ]
   @ Obs_props.tests ~count

@@ -59,3 +59,44 @@ let run_protected ?(max_restarts = 8) ?(store = Store.create ()) ~every ~steps f
   in
   advance ();
   stats
+
+(** [run_protected] over an adaptive forest.  The checkpoint captures
+    the refinement state (levels, ownership, frozen constants) alongside
+    the active buffers, and the adaptation decisions replayed after a
+    rollback are pure functions of the restored state — so the protected
+    adaptive run finishes bitwise identical to an undisturbed one,
+    freeze/thaw schedule included. *)
+let run_protected_adaptive ?(max_restarts = 8) ~every ~steps af =
+  if every < 1 then invalid_arg "Recovery.run_protected_adaptive: every must be positive";
+  let stats = { checkpoints = 0; restarts = 0; replayed_steps = 0 } in
+  let start = Blocks.Adaptive.step_count af in
+  let target = start + steps in
+  let latest = ref None in
+  let checkpoint () =
+    Obs.Span.with_ ~cat:"ckpt" "checkpoint" (fun () ->
+        latest := Some (Snapshot.capture_adaptive af));
+    stats.checkpoints <- stats.checkpoints + 1
+  in
+  checkpoint ();
+  let rec advance () =
+    let cur = Blocks.Adaptive.step_count af in
+    if cur < target then begin
+      (try
+         Blocks.Adaptive.step af;
+         if (Blocks.Adaptive.step_count af - start) mod every = 0 then checkpoint ()
+       with Blocks.Ghost.Rank_crashed _ ->
+         if stats.restarts >= max_restarts then raise (Too_many_restarts stats.restarts);
+         stats.restarts <- stats.restarts + 1;
+         Obs.Metrics.incr (Obs.Metrics.counter "ckpt.rollbacks");
+         Obs.Span.with_ ~cat:"ckpt" "rollback" (fun () ->
+             Blocks.Mpisim.restart af.Blocks.Adaptive.comm;
+             match !latest with
+             | None -> assert false (* the initial checkpoint always exists *)
+             | Some snap ->
+               Snapshot.restore_adaptive snap af;
+               stats.replayed_steps <- stats.replayed_steps + (cur - snap.Snapshot.a_step)));
+      advance ()
+    end
+  in
+  advance ();
+  stats

@@ -352,3 +352,292 @@ let pp ppf t =
     t.time
     (String.concat "x" (List.map string_of_int (Array.to_list t.grid)))
     (Array.length t.blocks) t.fingerprint
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive forests (v2 wire format; v1 stays byte-identical)          *)
+(* ------------------------------------------------------------------ *)
+
+(** One block of an adaptive snapshot: a frozen block is captured as its
+    per-field per-component constants — the whole point of coarsening is
+    that this is all the state there is. *)
+type adaptive_block =
+  | Ab_active of block_state
+  | Ab_frozen of (string * float array) list
+
+type adaptive = {
+  a_fingerprint : int;
+  a_split_phi : bool;
+  a_split_mu : bool;
+  a_step : int;
+  a_time : float;
+  a_bgrid : int array;
+  a_block_dims : int array;
+  a_global_dims : int array;
+  a_levels : int array;
+  a_owner : int array;
+  a_blocks : adaptive_block array;
+}
+
+(** Snapshot a whole adaptive forest, refinement state included. *)
+let capture_adaptive (af : Blocks.Adaptive.t) =
+  Obs.Span.with_ ~cat:"ckpt" "snapshot:capture" @@ fun () ->
+  Obs.Metrics.incr (Obs.Metrics.counter "ckpt.captures");
+  {
+    a_fingerprint = fingerprint_of_params af.Blocks.Adaptive.gen.Pfcore.Genkernels.params;
+    a_split_phi = is_split af.Blocks.Adaptive.variant_phi;
+    a_split_mu = is_split af.Blocks.Adaptive.variant_mu;
+    a_step = af.Blocks.Adaptive.step_count;
+    a_time = af.Blocks.Adaptive.time;
+    a_bgrid = Array.copy af.Blocks.Adaptive.bgrid;
+    a_block_dims = Array.copy af.Blocks.Adaptive.block_dims;
+    a_global_dims = Array.copy af.Blocks.Adaptive.global_dims;
+    a_levels = Array.copy af.Blocks.Adaptive.levels;
+    a_owner = Array.copy af.Blocks.Adaptive.owner;
+    a_blocks =
+      Array.map
+        (function
+          | Blocks.Adaptive.Active sim ->
+            Ab_active (capture_block sim.Pfcore.Timestep.block)
+          | Blocks.Adaptive.Frozen consts ->
+            Ab_frozen
+              (List.map
+                 (fun ((f : Symbolic.Fieldspec.t), cv) ->
+                   (f.Symbolic.Fieldspec.name, Array.copy cv))
+                 consts))
+        af.Blocks.Adaptive.states;
+  }
+
+(** Load an adaptive snapshot into an existing forest of identical
+    topology and model: refinement levels, block ownership and per-block
+    state (buffers or constants) are restored exactly, so replay is
+    bitwise identical — including the adaptation decisions, which are
+    pure functions of the restored state. *)
+let restore_adaptive a (af : Blocks.Adaptive.t) =
+  check_fingerprint
+    {
+      fingerprint = a.a_fingerprint;
+      split_phi = a.a_split_phi;
+      split_mu = a.a_split_mu;
+      step = a.a_step;
+      time = a.a_time;
+      grid = a.a_bgrid;
+      block_dims = a.a_block_dims;
+      global_dims = a.a_global_dims;
+      blocks = [||];
+    }
+    af.Blocks.Adaptive.gen.Pfcore.Genkernels.params;
+  require_same_dims "block grid" a.a_bgrid af.Blocks.Adaptive.bgrid;
+  require_same_dims "block dims" a.a_block_dims af.Blocks.Adaptive.block_dims;
+  require_same_dims "global dims" a.a_global_dims af.Blocks.Adaptive.global_dims;
+  if Array.length a.a_blocks <> Array.length af.Blocks.Adaptive.states then
+    invalid "adaptive snapshot holds %d blocks, forest has %d" (Array.length a.a_blocks)
+      (Array.length af.Blocks.Adaptive.states);
+  let field_by_name name =
+    match
+      List.find_opt
+        (fun (f : Symbolic.Fieldspec.t) -> f.Symbolic.Fieldspec.name = name)
+        (Pfcore.Timestep.field_list af.Blocks.Adaptive.gen)
+    with
+    | Some f -> f
+    | None -> invalid "adaptive snapshot names unknown field %s" name
+  in
+  af.Blocks.Adaptive.step_count <- a.a_step;
+  af.Blocks.Adaptive.time <- a.a_time;
+  Array.blit a.a_levels 0 af.Blocks.Adaptive.levels 0 (Array.length a.a_levels);
+  Array.blit a.a_owner 0 af.Blocks.Adaptive.owner 0 (Array.length a.a_owner);
+  Array.iteri
+    (fun i ab ->
+      match ab with
+      | Ab_frozen consts ->
+        af.Blocks.Adaptive.states.(i) <-
+          Blocks.Adaptive.Frozen
+            (List.map (fun (name, cv) -> (field_by_name name, Array.copy cv)) consts)
+      | Ab_active bs ->
+        let sim =
+          match af.Blocks.Adaptive.states.(i) with
+          | Blocks.Adaptive.Active sim -> sim
+          | Blocks.Adaptive.Frozen _ -> Blocks.Adaptive.make_sim af i
+        in
+        restore_block bs sim.Pfcore.Timestep.block;
+        Pfcore.Timestep.restore sim ~step:a.a_step ~time:a.a_time;
+        af.Blocks.Adaptive.states.(i) <- Blocks.Adaptive.Active sim)
+    a.a_blocks
+
+let magic2 = "PFSNAP2\n"
+let version2 = 2
+
+let encode_adaptive_payload t =
+  let b = Buffer.create (1 lsl 16) in
+  let i32 n = Buffer.add_int32_le b (Int32.of_int n) in
+  let i64 n = Buffer.add_int64_le b (Int64.of_int n) in
+  let f64 x = Buffer.add_int64_le b (Int64.bits_of_float x) in
+  let ints a =
+    i32 (Array.length a);
+    Array.iter i32 a
+  in
+  i32 version2;
+  i32 t.a_fingerprint;
+  Buffer.add_uint8 b (if t.a_split_phi then 1 else 0);
+  Buffer.add_uint8 b (if t.a_split_mu then 1 else 0);
+  i64 t.a_step;
+  f64 t.a_time;
+  ints t.a_bgrid;
+  ints t.a_block_dims;
+  ints t.a_global_dims;
+  ints t.a_levels;
+  ints t.a_owner;
+  i32 (Array.length t.a_blocks);
+  Array.iter
+    (fun ab ->
+      match ab with
+      | Ab_active blk ->
+        Buffer.add_uint8 b 1;
+        ints blk.offset;
+        i32 (List.length blk.fields);
+        List.iter
+          (fun fs ->
+            i32 (String.length fs.fname);
+            Buffer.add_string b fs.fname;
+            i32 (Array.length fs.data);
+            Array.iter f64 fs.data)
+          blk.fields
+      | Ab_frozen consts ->
+        Buffer.add_uint8 b 0;
+        i32 (List.length consts);
+        List.iter
+          (fun (name, cv) ->
+            i32 (String.length name);
+            Buffer.add_string b name;
+            i32 (Array.length cv);
+            Array.iter f64 cv)
+          consts)
+    t.a_blocks;
+  Buffer.contents b
+
+let encode_adaptive t =
+  Obs.Span.with_ ~cat:"ckpt" "snapshot:encode" @@ fun () ->
+  let payload = encode_adaptive_payload t in
+  let b = Buffer.create (String.length payload + 24) in
+  Buffer.add_string b magic2;
+  Buffer.add_int32_le b (Int32.of_int (Crc.digest payload));
+  Buffer.add_int32_le b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let decode_adaptive s =
+  if String.length s < String.length magic2 + 8 then
+    invalid "not an adaptive snapshot: too short";
+  if String.sub s 0 (String.length magic2) <> magic2 then
+    invalid "not an adaptive snapshot: bad magic";
+  let c = { s; pos = String.length magic2 } in
+  let crc = read_i32 c in
+  let len = read_i32 c in
+  if c.pos + len <> String.length s then
+    invalid "adaptive snapshot length field says %d payload bytes, file has %d" len
+      (String.length s - c.pos);
+  let payload = String.sub s c.pos len in
+  if Crc.digest payload <> crc then
+    invalid "checksum mismatch: adaptive snapshot is corrupted";
+  let c = { s = payload; pos = 0 } in
+  let v = read_i32 c in
+  if v <> version2 then invalid "unsupported adaptive snapshot version %d" v;
+  let a_fingerprint = read_i32 c in
+  let a_split_phi = read_u8 c = 1 in
+  let a_split_mu = read_u8 c = 1 in
+  let a_step = Int64.to_int (read_i64 c) in
+  let a_time = Int64.float_of_bits (read_i64 c) in
+  let a_bgrid = read_ints c in
+  let a_block_dims = read_ints c in
+  let a_global_dims = read_ints c in
+  let read_int_array limit =
+    let n = read_i32 c in
+    bounded "entry" n limit;
+    Array.init n (fun _ -> read_i32 c)
+  in
+  let a_levels = read_int_array 65536 in
+  let a_owner = read_int_array 65536 in
+  let n_blocks = read_i32 c in
+  bounded "block" n_blocks 65536;
+  let a_blocks =
+    Array.init n_blocks (fun _ ->
+        match read_u8 c with
+        | 1 ->
+          let offset = read_ints c in
+          let n_fields = read_i32 c in
+          bounded "field" n_fields 256;
+          let fields =
+            List.init n_fields (fun _ ->
+                let n = read_i32 c in
+                bounded "name byte" n 4096;
+                let fname = read_string c n in
+                let len = read_i32 c in
+                bounded "element" len (1 lsl 28);
+                let data = Array.init len (fun _ -> Int64.float_of_bits (read_i64 c)) in
+                { fname; data })
+          in
+          Ab_active { offset; fields }
+        | 0 ->
+          let n_fields = read_i32 c in
+          bounded "field" n_fields 256;
+          Ab_frozen
+            (List.init n_fields (fun _ ->
+                 let n = read_i32 c in
+                 bounded "name byte" n 4096;
+                 let name = read_string c n in
+                 let len = read_i32 c in
+                 bounded "component" len 4096;
+                 (name, Array.init len (fun _ -> Int64.float_of_bits (read_i64 c)))))
+        | tag -> invalid "unknown adaptive block tag %d" tag)
+  in
+  if c.pos <> String.length payload then
+    invalid "trailing garbage after adaptive snapshot payload";
+  {
+    a_fingerprint;
+    a_split_phi;
+    a_split_mu;
+    a_step;
+    a_time;
+    a_bgrid;
+    a_block_dims;
+    a_global_dims;
+    a_levels;
+    a_owner;
+    a_blocks;
+  }
+
+(** Bitwise structural equality of adaptive snapshots — refinement
+    state, ownership and every stored value included. *)
+let equal_adaptive a b =
+  a.a_fingerprint = b.a_fingerprint
+  && a.a_split_phi = b.a_split_phi
+  && a.a_split_mu = b.a_split_mu
+  && a.a_step = b.a_step
+  && bits_equal a.a_time b.a_time
+  && a.a_bgrid = b.a_bgrid
+  && a.a_block_dims = b.a_block_dims
+  && a.a_global_dims = b.a_global_dims
+  && a.a_levels = b.a_levels
+  && a.a_owner = b.a_owner
+  && Array.length a.a_blocks = Array.length b.a_blocks
+  && Array.for_all2
+       (fun ba bb ->
+         match (ba, bb) with
+         | Ab_active xa, Ab_active xb ->
+           xa.offset = xb.offset
+           && List.length xa.fields = List.length xb.fields
+           && List.for_all2
+                (fun fa fb ->
+                  fa.fname = fb.fname
+                  && Array.length fa.data = Array.length fb.data
+                  && Array.for_all2 bits_equal fa.data fb.data)
+                xa.fields xb.fields
+         | Ab_frozen ca, Ab_frozen cb ->
+           List.length ca = List.length cb
+           && List.for_all2
+                (fun (na, va) (nb, vb) ->
+                  na = nb
+                  && Array.length va = Array.length vb
+                  && Array.for_all2 bits_equal va vb)
+                ca cb
+         | _ -> false)
+       a.a_blocks b.a_blocks

@@ -68,6 +68,28 @@ let default_backend () =
     | Some b -> b
     | None -> invalid_arg ("PFGEN_VM_BACKEND: unknown backend " ^ s))
 
+(** Per-cell field reader for the reduction layer ([Vm.Reduce]): [Interp]
+    goes through [Buffer.get] (the bounds-checked reference path); [Jit]
+    uses the precomputed base/stride flat addressing the compiled tape
+    uses.  Both return the identical stored bits — a reduction only ever
+    combines them in its canonical tree order, so the backends cannot
+    diverge.  The reader is valid until the next buffer [swap]. *)
+let cell_reader ?(component = 0) ~backend block (f : Fieldspec.t) =
+  let buf = buffer block f in
+  match backend with
+  | Interp -> fun coords -> Buffer.get buf ~component coords
+  | Jit ->
+    let data = buf.Buffer.data in
+    let stride = buf.Buffer.stride in
+    let ghost = buf.Buffer.ghost in
+    let cbase = component * buf.Buffer.comp_stride in
+    fun coords ->
+      let idx = ref cbase in
+      for d = 0 to Array.length coords - 1 do
+        idx := !idx + ((coords.(d) + ghost) * stride.(d))
+      done;
+      Array.unsafe_get data !idx
+
 (* ------------------------------------------------------------------ *)
 (* Expression compilation                                              *)
 (* ------------------------------------------------------------------ *)

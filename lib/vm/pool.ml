@@ -230,3 +230,17 @@ let run ?(wrap = fun _ f -> f ()) ~domains ~ntiles f =
       lanes = domains;
     }
   end
+
+(** Tile-level collection hook for the reduction layer: run [ntiles]
+    tiles through the pool and return the per-tile results indexed by
+    tile, independent of which lane computed which tile.  Lanes write
+    disjoint slots, so no synchronization beyond the job barrier is
+    needed; the caller combines the slots in tile order (or by content
+    key), never in completion order.  Exceptions propagate exactly like
+    {!run}: re-raised after quiescence, pool left usable. *)
+let collect ?wrap ~domains ~ntiles f =
+  let out = Array.make ntiles None in
+  let (_ : stats) =
+    run ?wrap ~domains ~ntiles (fun ~lane ti -> out.(ti) <- Some (f ~lane ti))
+  in
+  Array.map (function Some v -> v | None -> invalid_arg "Pool.collect: missing tile") out

@@ -21,4 +21,5 @@ let () =
       ("pool", Test_pool.suite);
       ("jit", Test_jit.suite);
       ("serve", Test_serve.suite);
+      ("reduce", Test_reduce.suite);
     ]

@@ -13,6 +13,8 @@
 #   serve   - mempool steady-state hit rate >= 90%, zero fresh allocs
 #   overlap - overlapped-vs-sequential bitwise mismatches = 0,
 #             exchange-hidden-fraction >= 0.5 (model-calibrated)
+#   reduce  - adaptive-vs-uniform bitwise mismatches = 0, reduction values
+#             bitwise-equal across executors, cells-touched savings >= 2x
 #   scaling - no gate; produces the labelled weak/strong projections
 #             (BENCH_scaling.json) that CI uploads as an artifact
 #
@@ -21,7 +23,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-ARTIFACTS="${*:-pool jit serve overlap scaling}"
+ARTIFACTS="${*:-pool jit serve overlap reduce scaling}"
 
 dune build bench/main.exe
 
