@@ -1219,6 +1219,66 @@ let reduce_bench () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Model zoo: per-family update cost + the oracle-12 deviation gate     *)
+(* ------------------------------------------------------------------ *)
+
+(* One row per combinator-built family: measured ns/cell of a whole
+   timestep under the interpreter and the compiled backend, and the worst
+   Varder-vs-finite-difference deviation of the family's free-energy
+   density (oracle 12) over every phase component at a spread of probe
+   cells.  The deviation gate is ENFORCED and machine-independent: it re-
+   checks the commutation budget documented in DESIGN.md §15, so a sign
+   flip or dropped term in the variational frontend fails the bench job
+   even if the sampled oracle happened to miss it. *)
+let zoo_bench () =
+  section "Model zoo: per-family update cost and oracle-12 deviation";
+  let families =
+    [
+      (0, "eutectic", Pfcore.Params.eutectic ());
+      (1, "pfc", Pfcore.Params.pfc ());
+      (2, "gray_scott", Pfcore.Params.gray_scott ());
+    ]
+  in
+  let all_ok = ref true in
+  Fmt.pr "%-12s %15s %15s %18s@." "family" "interp ns/cell" "jit ns/cell"
+    "oracle-12 max dev";
+  List.iter
+    (fun (zf, label, p) ->
+      let gen = Pfcore.Genkernels.generate p in
+      let dims = [| 24; 24 |] in
+      let cells = float_of_int (dims.(0) * dims.(1)) in
+      let time backend =
+        let sim = Pfcore.Timestep.create ~backend ~dims gen in
+        Pfcore.Simulation.init_model sim;
+        Pfcore.Timestep.prime sim;
+        Pfcore.Timestep.run sim ~steps:1 (* warmup; the jit compiles here *);
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let t0 = Unix.gettimeofday () in
+          Pfcore.Timestep.run sim ~steps:2;
+          let dt = (Unix.gettimeofday () -. t0) /. 2. in
+          if dt < !best then best := dt
+        done;
+        !best /. cells *. 1e9
+      in
+      let ns_interp = time Vm.Engine.Interp in
+      let ns_jit = time Vm.Engine.Jit in
+      let dev, ok = Check.Oracles.o12_family_deviation ~zf ~seed:5 in
+      if not ok then begin
+        all_ok := false;
+        gate_failures :=
+          Printf.sprintf "zoo: %s oracle-12 deviation %.5f exceeds its budget" label dev
+          :: !gate_failures
+      end;
+      Fmt.pr "%-12s %15.1f %15.1f %18.5f@." label ns_interp ns_jit dev;
+      metric (label ^ "_interp_ns_per_cell") ns_interp;
+      metric (label ^ "_jit_ns_per_cell") ns_jit;
+      metric (label ^ "_oracle12_max_deviation") dev)
+    families;
+  Fmt.pr "oracle-12 deviations within budget: %b (gate, ENFORCED)@." !all_ok;
+  metric "gate_passed" (if !all_ok then 1. else 0.)
+
 let () =
   let artifacts =
     [
@@ -1240,6 +1300,7 @@ let () =
       ("overlap", overlap_bench);
       ("reduce", reduce_bench);
       ("scaling", scaling_bench);
+      ("zoo", zoo_bench);
     ]
   in
   (* each artifact prints its table and then dumps the metrics it

@@ -20,13 +20,21 @@ let model_conv =
     | "p2-2d" -> Ok (Pfcore.Params.p2 ~dim:2 ())
     | "curvature" -> Ok (Pfcore.Params.curvature ~dim:2 ())
     | "curvature-3d" -> Ok (Pfcore.Params.curvature ~dim:3 ())
-    | s -> Error (`Msg ("unknown model " ^ s ^ " (p1, p2, p2-2d, curvature, curvature-3d)"))
+    | "eutectic" -> Ok (Pfcore.Params.eutectic ())
+    | "eutectic-3d" -> Ok (Pfcore.Params.eutectic ~dim:3 ())
+    | "pfc" -> Ok (Pfcore.Params.pfc ())
+    | "gray-scott" -> Ok (Pfcore.Params.gray_scott ())
+    | s ->
+      Error
+        (`Msg
+          ("unknown model " ^ s
+         ^ " (p1, p2, p2-2d, curvature, curvature-3d, eutectic, eutectic-3d, pfc, gray-scott)"))
   in
   let print ppf (p : Pfcore.Params.t) = Fmt.string ppf p.Pfcore.Params.name in
   Arg.conv (parse, print)
 
 let model_arg =
-  Arg.(value & opt model_conv (Pfcore.Params.p1 ()) & info [ "model"; "m" ] ~doc:"Model instance: p1, p2, p2-2d, curvature, curvature-3d.")
+  Arg.(value & opt model_conv (Pfcore.Params.p1 ()) & info [ "model"; "m" ] ~doc:"Model instance: p1, p2, p2-2d, curvature, curvature-3d, eutectic, eutectic-3d, pfc, gray-scott.")
 
 let symbolic_arg =
   Arg.(value & flag & info [ "symbolic" ] ~doc:"Keep material parameters as runtime kernel arguments instead of freezing them at generation time.")
@@ -44,7 +52,7 @@ let kernels_of (g : Pfcore.Genkernels.t) =
   @ (match g.mu_split with
     | Some p -> [ p.Pfcore.Genkernels.stag; p.Pfcore.Genkernels.main ]
     | None -> [])
-  @ [ g.projection ]
+  @ Option.to_list g.projection
 
 let write output text =
   match output with
@@ -180,9 +188,7 @@ let registers_cmd =
 
 let variant_of split = if split then Pfcore.Timestep.Split else Pfcore.Timestep.Full
 
-let init_single params sim =
-  if Pfcore.Params.n_mu params > 0 then Pfcore.Simulation.init_lamellae sim
-  else Pfcore.Simulation.init_sphere sim
+let init_single _params sim = Pfcore.Simulation.init_model sim
 
 let decomposition ~dim ~size ~ranks =
   if size mod ranks <> 0 then failwith "size must be divisible by ranks";
@@ -195,7 +201,7 @@ let build_forest ?num_domains ?tile ?backend ?overlap ~split ~grid ~block_dims g
     Blocks.Forest.create ~variant_phi:(variant_of split) ?num_domains ?tile ?backend
       ?overlap ~grid ~block_dims g
   in
-  Array.iter Pfcore.Simulation.init_lamellae forest.Blocks.Forest.sims;
+  Array.iter Pfcore.Simulation.init_model forest.Blocks.Forest.sims;
   Blocks.Forest.prime forest;
   forest
 

@@ -173,7 +173,7 @@ let gen_freezable (gen : Pfcore.Genkernels.t) =
   let pair (p : Pfcore.Genkernels.pair) = [ p.Pfcore.Genkernels.stag; p.Pfcore.Genkernels.main ] in
   let kernels =
     (gen.Pfcore.Genkernels.phi_full :: pair gen.Pfcore.Genkernels.phi_split)
-    @ [ gen.Pfcore.Genkernels.projection ]
+    @ Option.to_list gen.Pfcore.Genkernels.projection
     @ (match gen.Pfcore.Genkernels.mu_full with Some k -> [ k ] | None -> [])
     @ (match gen.Pfcore.Genkernels.mu_split with Some p -> pair p | None -> [])
   in

@@ -786,3 +786,196 @@ let arb_adaptive : adaptive_sample QCheck.arbitrary =
          ad_crash_step;
          ad_ckpt_every;
        })
+
+(* ------------------------------------------------------------------ *)
+(* Model zoo: families with randomized coefficients                    *)
+(* ------------------------------------------------------------------ *)
+
+(** One zoo model at a discrete coefficient variant.  The coefficient
+    index (rather than raw floats) keys a process-wide kernel cache in
+    the oracles: code generation costs seconds per model, so samples
+    draw from a small set of regenerable configurations while the seed,
+    decomposition and backend vary freely. *)
+type zoo_sample = {
+  zf : int;          (** family: 0 = eutectic, 1 = pfc, 2 = gray-scott *)
+  zcoef : int;       (** coefficient variant, 0..2; keys the kernel cache *)
+  zseed : int;       (** initial-condition seed *)
+  zsplit : bool;     (** run the split operator variant *)
+  zsteps : int;
+  zdomains : int;
+  ztile : int array;
+  zjit : bool;
+}
+
+let zoo_family_name = function
+  | 0 -> "eutectic"
+  | 1 -> "pfc"
+  | _ -> "gray-scott"
+
+(** Family preset at the sample's coefficient variant.  Every variant
+    stays inside the stable regime of its family (the oracles compare
+    execution paths, so the state must stay finite, not physical). *)
+let zoo_params (s : zoo_sample) : Pfcore.Params.t =
+  let v = s.zcoef mod 3 in
+  match s.zf mod 3 with
+  | 0 ->
+    let p = Pfcore.Params.eutectic () in
+    let scale = [| 1.0; 0.8; 1.2 |].(v) in
+    {
+      p with
+      Pfcore.Params.name = Printf.sprintf "eutectic-z%d" v;
+      gamma = Array.map (Array.map (fun g -> g *. scale)) p.Pfcore.Params.gamma;
+    }
+  | 1 ->
+    let p = Pfcore.Params.pfc () in
+    {
+      p with
+      Pfcore.Params.name = Printf.sprintf "pfc-z%d" v;
+      family = Pfcore.Params.Pfc { r = [| 0.25; 0.15; 0.35 |].(v) };
+    }
+  | _ ->
+    let p = Pfcore.Params.gray_scott () in
+    let feed, kill = [| (0.035, 0.065); (0.03, 0.062); (0.025, 0.055) |].(v) in
+    {
+      p with
+      Pfcore.Params.name = Printf.sprintf "gray-scott-z%d" v;
+      family =
+        (match p.Pfcore.Params.family with
+        | Pfcore.Params.Gray_scott g -> Pfcore.Params.Gray_scott { g with feed; kill }
+        | f -> f);
+    }
+
+let pp_zoo ppf (s : zoo_sample) =
+  Fmt.pf ppf "%s coef %d, seed %d, %s variant, %d step(s), %d domain(s), tile %s, %s backend"
+    (zoo_family_name (s.zf mod 3))
+    (s.zcoef mod 3) s.zseed
+    (if s.zsplit then "split" else "full")
+    s.zsteps s.zdomains
+    (String.concat "x" (Array.to_list (Array.map string_of_int s.ztile)))
+    (if s.zjit then "jit" else "interp")
+
+(* Shrink toward one interpreted full-variant serial step with the default
+   coefficients.  The family index is deliberately not shrunk: changing
+   family mid-shrink would report a counterexample for a different model
+   than the one that failed. *)
+let shrink_zoo (s : zoo_sample) yield =
+  if s.zjit then yield { s with zjit = false };
+  if s.zsplit then yield { s with zsplit = false };
+  if s.zsteps > 1 then yield { s with zsteps = s.zsteps - 1 };
+  if s.zdomains > 1 then yield { s with zdomains = 1 };
+  Array.iteri
+    (fun d x ->
+      if x > 0 then begin
+        let t = Array.copy s.ztile in
+        t.(d) <- 0;
+        yield { s with ztile = t }
+      end)
+    s.ztile;
+  if s.zcoef mod 3 > 0 then yield { s with zcoef = 0 };
+  if s.zseed > 0 then yield { s with zseed = s.zseed / 2 }
+
+let arb_zoo : zoo_sample QCheck.arbitrary =
+  QCheck.make
+    ~print:(Fmt.str "%a" pp_zoo)
+    ~shrink:shrink_zoo
+    (let* zf = G.int_bound 2 in
+     let* zcoef = G.int_bound 2 in
+     let* zseed = G.int_bound 10_000 in
+     let* zsplit = G.bool in
+     let* zsteps = G.int_range 1 3 in
+     let* zdomains = G.oneofl [ 1; 2; 4 ] in
+     let* ztile = G.array_size (G.return 2) (G.oneofl [ 0; 1; 2; 3; 5 ]) in
+     let* zjit = G.bool in
+     G.return { zf; zcoef; zseed; zsplit; zsteps; zdomains; ztile; zjit })
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 12: random free-energy functionals                           *)
+(* ------------------------------------------------------------------ *)
+
+(** One term of a randomly assembled free-energy density.  Component
+    indices are taken modulo the sample's component count at build time,
+    so shrinking [fn_comps] keeps every term well-typed. *)
+type zterm =
+  | Zwell of float * int      (** w * u^2 (1-u)^2 *)
+  | Zgrad of float * int      (** kappa/2 * |grad u|^2 *)
+  | Zcouple of float          (** c * sum phi_a^2 phi_b^2 over pairs *)
+  | Zdrive of float * int     (** m * u *)
+  | Zcrystal of float * int   (** Swift-Hohenberg: -r/2 u^2 + ((1+lap)u)^2/2 + u^4/4 *)
+
+type func_sample = {
+  fn_terms : zterm list;  (** non-empty *)
+  fn_comps : int;         (** field components, 1..3 *)
+  fn_seed : int;          (** keys the smooth probe state *)
+  fn_cell : int;          (** probe cell (mod interior cells) *)
+  fn_comp : int;          (** component whose variation is probed (mod fn_comps) *)
+}
+
+let pp_zterm ppf = function
+  | Zwell (w, c) -> Fmt.pf ppf "well(%g, u%d)" w c
+  | Zgrad (k, c) -> Fmt.pf ppf "grad(%g, u%d)" k c
+  | Zcouple c -> Fmt.pf ppf "couple(%g)" c
+  | Zdrive (m, c) -> Fmt.pf ppf "drive(%g, u%d)" m c
+  | Zcrystal (r, c) -> Fmt.pf ppf "crystal(%g, u%d)" r c
+
+let pp_func ppf (s : func_sample) =
+  Fmt.pf ppf "%d component(s), seed %d, probe cell %d comp %d: %a" s.fn_comps s.fn_seed
+    s.fn_cell s.fn_comp
+    Fmt.(list ~sep:(any " + ") pp_zterm)
+    s.fn_terms
+
+let zterm_coef = function
+  | Zwell (c, _) | Zgrad (c, _) | Zcouple c | Zdrive (c, _) | Zcrystal (c, _) -> c
+
+let zterm_with_coef c = function
+  | Zwell (_, i) -> Zwell (c, i)
+  | Zgrad (_, i) -> Zgrad (c, i)
+  | Zcouple _ -> Zcouple c
+  | Zdrive (_, i) -> Zdrive (c, i)
+  | Zcrystal (_, i) -> Zcrystal (c, i)
+
+(* Shrink by dropping terms, then snapping coefficients to 1, then
+   reducing the component count (term indices re-wrap, so this stays
+   well-typed).  All moves are measure-decreasing. *)
+let shrink_func (s : func_sample) yield =
+  let n = List.length s.fn_terms in
+  if n > 1 then
+    for i = 0 to n - 1 do
+      yield { s with fn_terms = List.filteri (fun j _ -> j <> i) s.fn_terms }
+    done;
+  List.iteri
+    (fun i t ->
+      if zterm_coef t <> 1. then
+        yield
+          {
+            s with
+            fn_terms = List.mapi (fun j t' -> if j = i then zterm_with_coef 1. t else t') s.fn_terms;
+          })
+    s.fn_terms;
+  if s.fn_comps > 1 then yield { s with fn_comps = s.fn_comps - 1 };
+  if s.fn_cell > 0 then yield { s with fn_cell = 0 };
+  if s.fn_comp > 0 then yield { s with fn_comp = 0 };
+  if s.fn_seed > 0 then yield { s with fn_seed = s.fn_seed / 2 }
+
+let arb_func : func_sample QCheck.arbitrary =
+  let coef = G.oneofl [ 1.; 0.5; 2.; 0.3; 1.5 ] in
+  let term =
+    let* c = coef in
+    let* comp = G.int_bound 2 in
+    G.frequency
+      [
+        (3, G.return (Zwell (c, comp)));
+        (3, G.return (Zgrad (c, comp)));
+        (1, G.return (Zcouple c));
+        (2, G.return (Zdrive (c, comp)));
+        (1, G.return (Zcrystal (c, comp)));
+      ]
+  in
+  QCheck.make
+    ~print:(Fmt.str "%a" pp_func)
+    ~shrink:shrink_func
+    (let* fn_terms = G.list_size (G.int_range 1 4) term in
+     let* fn_comps = G.int_range 1 3 in
+     let* fn_seed = G.int_bound 10_000 in
+     let* fn_cell = G.int_bound 1_000 in
+     let* fn_comp = G.int_bound 2 in
+     G.return { fn_terms; fn_comps; fn_seed; fn_cell; fn_comp })

@@ -487,14 +487,17 @@ let jit_vs_interp ~count =
    injected rank crashes — and none of it may be observable in the
    results: every job's final state (ghosts included, via the snapshot
    comparison) must equal the same spec run solo, serially, through the
-   interpreter.  The workload keeps to the cheap 2D family; the model mix
-   is exercised by `pfgen serve --soak`. *)
+   interpreter.  The workload keeps to the cheap 2D families (curvature
+   plus the mu-less zoo models); the full mix including eutectic and the
+   3D families is exercised by `pfgen serve --soak`. *)
 let farm_vs_solo ~count =
   QCheck.Test.make ~name:"oracle9: farm-scheduled job = solo run (bitwise)" ~count
     Gen.arb_farm
     (fun s ->
       let specs =
-        Serve.Workload.generate ~families:[ Serve.Workload.Curv2d ]
+        Serve.Workload.generate
+          ~families:
+            [ Serve.Workload.Curv2d; Serve.Workload.Pfc; Serve.Workload.GrayScott ]
           ~with_crash:s.Gen.fm_crash ~seed:s.Gen.fm_seed ~jobs:s.Gen.fm_jobs ()
       in
       let config =
@@ -854,6 +857,598 @@ let adaptive_crash_restart ~count =
            (Resilience.Snapshot.capture_adaptive faulty))
 
 (* ------------------------------------------------------------------ *)
+(* Model zoo: the oracle battery over the combinator-built families    *)
+(* ------------------------------------------------------------------ *)
+
+(* Code generation costs seconds per configuration, so kernels are cached
+   process-wide on the (family, coefficient-variant) key the samples draw
+   from; seeds, decompositions, variants and backends still vary freely
+   per sample. *)
+let zoo_gens : (int * int * bool, Pfcore.Genkernels.t) Hashtbl.t = Hashtbl.create 9
+
+let zoo_gen ?(raw = false) (s : Gen.zoo_sample) =
+  let key = (s.Gen.zf mod 3, s.Gen.zcoef mod 3, raw) in
+  match Hashtbl.find_opt zoo_gens key with
+  | Some g -> g
+  | None ->
+    let opts =
+      if raw then { Pfcore.Genkernels.default_options with simplify = false; cse = false }
+      else Pfcore.Genkernels.default_options
+    in
+    let g = Pfcore.Genkernels.generate ~opts (Gen.zoo_params s) in
+    Hashtbl.add zoo_gens key g;
+    g
+
+(* Philox-keyed smooth fields around a family-appropriate base value, a
+   function of the *global* cell index alone — any decomposition of the
+   same global domain starts bitwise identically. *)
+let init_zoo (sim : Pfcore.Timestep.t) ~seed =
+  let gen = sim.Pfcore.Timestep.gen in
+  let p = gen.Pfcore.Genkernels.params in
+  let block = sim.Pfcore.Timestep.block in
+  let fields = gen.Pfcore.Genkernels.fields in
+  let base =
+    match p.Pfcore.Params.family with
+    | Pfcore.Params.Solidification -> 1. /. float_of_int p.Pfcore.Params.n_phases
+    | Pfcore.Params.Pfc _ -> 0.3
+    | Pfcore.Params.Gray_scott _ -> 0.5
+  in
+  let init (f : Fieldspec.t) ~slot ~base ~amp =
+    let buf = Vm.Engine.buffer block f in
+    let off = block.Vm.Engine.offset in
+    let gd = block.Vm.Engine.global_dims in
+    Vm.Buffer.init buf (fun coords comp ->
+        let cell = ref 0 in
+        for d = Array.length gd - 1 downto 0 do
+          cell := (!cell * gd.(d)) + coords.(d) + off.(d)
+        done;
+        base +. (amp *. Philox.symmetric ~cell:!cell ~step:seed ~slot:(slot + comp)))
+  in
+  init fields.Pfcore.Model.phi_src ~slot:3 ~base ~amp:0.01;
+  if Pfcore.Params.n_mu p > 0 then init fields.Pfcore.Model.mu_src ~slot:23 ~base:0.02 ~amp:0.01
+
+let zoo_variant split = if split then Pfcore.Timestep.Split else Pfcore.Timestep.Full
+
+(* One zoo run through the whole Algorithm-1 step structure on the shared
+   12x12 global domain. *)
+let zoo_sim ?gen ?(backend = Vm.Engine.Interp) ?(num_domains = 1) ?tile ?(split = false)
+    (s : Gen.zoo_sample) =
+  let gen = match gen with Some g -> g | None -> zoo_gen s in
+  let variant = zoo_variant split in
+  let sim =
+    Pfcore.Timestep.create ~variant_phi:variant ~variant_mu:variant ~backend ~num_domains
+      ?tile ~dims:global2 gen
+  in
+  init_zoo sim ~seed:s.Gen.zseed;
+  Pfcore.Timestep.prime sim;
+  Pfcore.Timestep.run sim ~steps:s.Gen.zsteps;
+  sim
+
+let zoo_sims_agree ?(cmp = bits_equal) (a : Pfcore.Timestep.t) (b : Pfcore.Timestep.t) =
+  let fields = a.Pfcore.Timestep.gen.Pfcore.Genkernels.fields in
+  let buf (sim : Pfcore.Timestep.t) f = Vm.Engine.buffer sim.Pfcore.Timestep.block f in
+  interior_agree ~cmp (buf a fields.Pfcore.Model.phi_src) (buf b fields.Pfcore.Model.phi_src)
+  && (Pfcore.Params.n_mu a.Pfcore.Timestep.gen.Pfcore.Genkernels.params = 0
+     || interior_agree ~cmp (buf a fields.Pfcore.Model.mu_src) (buf b fields.Pfcore.Model.mu_src))
+
+(* Oracles 4, 7 and 8 over the zoo: pool width, tile decomposition and the
+   JIT backend must be invisible, bitwise, for every family and variant. *)
+let zoo_exec_paths ~count =
+  QCheck.Test.make
+    ~name:"oracle4/7/8 zoo: domains/tile/jit sweep = serial interp (bitwise)" ~count
+    Gen.arb_zoo
+    (fun s ->
+      let reference = zoo_sim ~split:s.Gen.zsplit s in
+      let subject =
+        zoo_sim
+          ~backend:(if s.Gen.zjit then Vm.Engine.Jit else Vm.Engine.Interp)
+          ~num_domains:s.Gen.zdomains ~tile:s.Gen.ztile ~split:s.Gen.zsplit s
+      in
+      zoo_sims_agree reference subject)
+
+(* Oracle 3 over the zoo: the staggered-precompute split variant evaluates
+   different (algebraically equal) trees, so the comparison is the same
+   tolerance-with-guard policy as the generic flux oracle. *)
+let zoo_full_vs_split ~count =
+  let cmp a b =
+    (not (Float.is_finite a) && not (Float.is_finite b))
+    || Float.abs a > guard || Float.abs b > guard
+    || close ~tol:1e-6 a b
+  in
+  QCheck.Test.make ~name:"oracle3 zoo: full = split variant (tolerance)" ~count
+    Gen.arb_zoo
+    (fun s -> zoo_sims_agree ~cmp (zoo_sim ~split:false s) (zoo_sim ~split:true s))
+
+(* Oracle 1 over the zoo: per-term simplification and global CSE are
+   value-preserving on the real generated models, not just on random
+   scalar expressions. *)
+let zoo_opt_vs_raw ~count =
+  let cmp a b =
+    (not (Float.is_finite a) && not (Float.is_finite b))
+    || Float.abs a > guard || Float.abs b > guard
+    || close ~tol:1e-6 a b
+  in
+  QCheck.Test.make
+    ~name:"oracle1 zoo: optimized kernels = unoptimized kernels (tolerance)" ~count
+    Gen.arb_zoo
+    (fun s ->
+      (* pin the coefficient variant: the raw (unsimplified) kernels are
+         several times bigger, so only three of them are ever generated *)
+      let s = { s with Gen.zcoef = 0; zsteps = 1 } in
+      zoo_sims_agree ~cmp (zoo_sim s) (zoo_sim ~gen:(zoo_gen ~raw:true s) s))
+
+(* Oracle 2 over the zoo: the engine's sweep of the generated phi kernel —
+   lowered, hoisted, possibly JIT-compiled — against a direct cell-by-cell
+   [Eval] interpretation of the kernel body. *)
+let zoo_engine_vs_eval ~count =
+  QCheck.Test.make ~name:"oracle2 zoo: engine phi sweep = Eval interpreter" ~count
+    Gen.arb_zoo
+    (fun s ->
+      let gen = zoo_gen s in
+      let backend = if s.Gen.zjit then Vm.Engine.Jit else Vm.Engine.Interp in
+      let make () =
+        let sim = Pfcore.Timestep.create ~backend ~dims:global2 gen in
+        init_zoo sim ~seed:s.Gen.zseed;
+        Pfcore.Timestep.prime sim;
+        sim
+      in
+      let engine = make () in
+      let params = Pfcore.Timestep.runtime_params engine in
+      Vm.Engine.run ~num_domains:s.Gen.zdomains ~backend ~step:0 ~params
+        (Vm.Engine.bind gen.Pfcore.Genkernels.phi_full engine.Pfcore.Timestep.block);
+      let evaled = make () in
+      let block = evaled.Pfcore.Timestep.block in
+      let temps : (string, float) Hashtbl.t = Hashtbl.create 64 in
+      let coords = Array.make 2 0 in
+      let elt (a : Fieldspec.access) =
+        let buf = Vm.Engine.buffer block a.Fieldspec.field in
+        (buf, Vm.Buffer.base_index buf coords + Vm.Buffer.access_delta buf a)
+      in
+      let dx = List.assoc "dx" params in
+      let env =
+        Eval.env
+          ~sym:(fun sy ->
+            match Hashtbl.find_opt temps sy with
+            | Some v -> v
+            | None -> List.assoc sy params)
+          ~access:(fun a ->
+            let buf, i = elt a in
+            buf.Vm.Buffer.data.(i))
+          ~coord:(fun d -> (float_of_int coords.(d) +. 0.5) *. dx)
+          ~rand:(fun _ -> 0.)
+          ()
+      in
+      for y = 0 to global2.(1) - 1 do
+        for x = 0 to global2.(0) - 1 do
+          coords.(0) <- x;
+          coords.(1) <- y;
+          Hashtbl.reset temps;
+          List.iter
+            (fun (a : Field.Assignment.t) ->
+              let v = Eval.eval env a.Field.Assignment.rhs in
+              match a.Field.Assignment.lhs with
+              | Field.Assignment.Temp t -> Hashtbl.replace temps t v
+              | Field.Assignment.Store acc ->
+                let buf, i = elt acc in
+                buf.Vm.Buffer.data.(i) <- v)
+            gen.Pfcore.Genkernels.phi_full.Ir.Kernel.body
+        done
+      done;
+      let dst = gen.Pfcore.Genkernels.fields.Pfcore.Model.phi_dst in
+      interior_agree ~cmp:engine_close
+        (Vm.Engine.buffer engine.Pfcore.Timestep.block dst)
+        (Vm.Engine.buffer block dst))
+
+(* Oracle 5 over the zoo: single block vs 2x2 Mpisim forest, bitwise. *)
+let zoo_single_vs_forest ~count =
+  QCheck.Test.make ~name:"oracle5 zoo: single block = 2x2 forest (bitwise)" ~count
+    Gen.arb_zoo
+    (fun s ->
+      let gen = zoo_gen s in
+      let variant = zoo_variant s.Gen.zsplit in
+      let single = zoo_sim ~split:s.Gen.zsplit s in
+      let forest =
+        Blocks.Forest.create ~variant_phi:variant ~variant_mu:variant ~grid:[| 2; 2 |]
+          ~block_dims:[| global2.(0) / 2; global2.(1) / 2 |]
+          gen
+      in
+      Array.iter (fun sim -> init_zoo sim ~seed:s.Gen.zseed) forest.Blocks.Forest.sims;
+      Blocks.Forest.prime forest;
+      Blocks.Forest.run forest ~steps:s.Gen.zsteps;
+      let phi = gen.Pfcore.Genkernels.fields.Pfcore.Model.phi_src in
+      let sbuf = Vm.Engine.buffer single.Pfcore.Timestep.block phi in
+      let ok = ref true in
+      for gy = 0 to global2.(1) - 1 do
+        for gx = 0 to global2.(0) - 1 do
+          for c = 0 to phi.Fieldspec.components - 1 do
+            let a = Vm.Buffer.get sbuf ~component:c [| gx; gy |] in
+            let b = Blocks.Forest.get forest phi ~component:c [| gx; gy |] in
+            if not (bits_equal a b) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* Oracle 6 over the zoo: snapshot capture/encode/decode/restore is the
+   identity on evolved zoo forests, extra staggered slots included. *)
+let zoo_snapshot_roundtrip ~count =
+  QCheck.Test.make
+    ~name:"oracle6 zoo: snapshot encode/decode/restore = identity (bitwise)" ~count
+    Gen.arb_zoo
+    (fun s ->
+      let gen = zoo_gen s in
+      let make seed =
+        let forest =
+          Blocks.Forest.create ~grid:[| 2; 2 |]
+            ~block_dims:[| global2.(0) / 2; global2.(1) / 2 |]
+            gen
+        in
+        Array.iter (fun sim -> init_zoo sim ~seed) forest.Blocks.Forest.sims;
+        Blocks.Forest.prime forest;
+        forest
+      in
+      let forest = make s.Gen.zseed in
+      Blocks.Forest.run forest ~steps:s.Gen.zsteps;
+      let snap = Resilience.Snapshot.capture forest in
+      let decoded = Resilience.Snapshot.decode (Resilience.Snapshot.encode snap) in
+      if not (Resilience.Snapshot.equal snap decoded) then false
+      else begin
+        let fresh = make (s.Gen.zseed + 1) in
+        Resilience.Snapshot.restore decoded fresh;
+        Resilience.Snapshot.equal snap (Resilience.Snapshot.capture fresh)
+      end)
+
+(* Oracle 10 over the zoo: the eutectic family has the phi+mu kernel
+   structure the inner/outer overlap split is built around; overlapped
+   exchange must stay invisible on a 2D decomposition too. *)
+let zoo_overlap ~count =
+  QCheck.Test.make
+    ~name:"oracle10 zoo: eutectic overlapped = sequential exchange (bitwise)" ~count
+    Gen.arb_zoo
+    (fun s ->
+      let s = { s with Gen.zf = 0 } in
+      let gen = zoo_gen s in
+      let variant = zoo_variant s.Gen.zsplit in
+      let make ~overlap ~backend ~num_domains ~tile =
+        let forest =
+          Blocks.Forest.create ~variant_phi:variant ~variant_mu:variant ~num_domains
+            ?tile ~backend ~overlap ~grid:[| 2; 1 |]
+            ~block_dims:[| global2.(0) / 2; global2.(1) |]
+            gen
+        in
+        Array.iter (fun sim -> init_zoo sim ~seed:s.Gen.zseed) forest.Blocks.Forest.sims;
+        Blocks.Forest.prime forest;
+        Blocks.Forest.run forest ~steps:s.Gen.zsteps;
+        forest
+      in
+      let reference =
+        make ~overlap:false ~backend:Vm.Engine.Interp ~num_domains:1 ~tile:None
+      in
+      let overlapped =
+        make ~overlap:true
+          ~backend:(if s.Gen.zjit then Vm.Engine.Jit else Vm.Engine.Interp)
+          ~num_domains:s.Gen.zdomains ~tile:(Some s.Gen.ztile)
+      in
+      let fields = gen.Pfcore.Genkernels.fields in
+      let check (f : Fieldspec.t) =
+        let ok = ref true in
+        for gy = 0 to global2.(1) - 1 do
+          for gx = 0 to global2.(0) - 1 do
+            for c = 0 to f.Fieldspec.components - 1 do
+              let a = Blocks.Forest.get reference f ~component:c [| gx; gy |] in
+              let b = Blocks.Forest.get overlapped f ~component:c [| gx; gy |] in
+              if not (bits_equal a b) then ok := false
+            done
+          done
+        done;
+        !ok
+      in
+      check fields.Pfcore.Model.phi_src && check fields.Pfcore.Model.mu_src)
+
+(* Oracle 11 over the zoo: pooled, tiled and forest-distributed canonical
+   reductions of an evolved zoo field reproduce the serial scalar bitwise. *)
+let zoo_reduce ~count =
+  QCheck.Test.make
+    ~name:"oracle11 zoo: pooled/forest reduction = serial reference (bitwise)" ~count
+    Gen.arb_zoo
+    (fun s ->
+      let gen = zoo_gen s in
+      let op = reduce_op s.Gen.zcoef in
+      let phi = gen.Pfcore.Genkernels.fields.Pfcore.Model.phi_src in
+      (* Component 1 only exists for the multi-phase families *)
+      let cf = s.Gen.zseed mod 4 in
+      let cf = if cf = 1 && phi.Fieldspec.components < 2 then 0 else cf in
+      let cellfn = reduce_cellfn ~seed:s.Gen.zseed cf in
+      let single = zoo_sim ~split:s.Gen.zsplit s in
+      let reference =
+        Vm.Reduce.scalar ~backend:Vm.Engine.Interp ~num_domains:1
+          single.Pfcore.Timestep.block phi cellfn op
+      in
+      let backend = if s.Gen.zjit then Vm.Engine.Jit else Vm.Engine.Interp in
+      let pooled =
+        Vm.Reduce.scalar ~backend ~num_domains:s.Gen.zdomains ~tile:s.Gen.ztile
+          single.Pfcore.Timestep.block phi cellfn op
+      in
+      let variant = zoo_variant s.Gen.zsplit in
+      let forest =
+        Blocks.Forest.create ~variant_phi:variant ~variant_mu:variant
+          ~num_domains:s.Gen.zdomains ~tile:s.Gen.ztile ~backend ~grid:[| 2; 1 |]
+          ~block_dims:[| global2.(0) / 2; global2.(1) |]
+          gen
+      in
+      Array.iter (fun sim -> init_zoo sim ~seed:s.Gen.zseed) forest.Blocks.Forest.sims;
+      Blocks.Forest.prime forest;
+      Blocks.Forest.run forest ~steps:s.Gen.zsteps;
+      let dist =
+        Blocks.Reduce.forest_scalar ~backend ~num_domains:s.Gen.zdomains
+          ~tile:s.Gen.ztile forest phi cellfn op
+      in
+      bits_equal reference pooled && bits_equal reference dist)
+
+(* Adaptive-forest leg over the zoo.  Gray-Scott is the family whose
+   Pearson background (u=1, v=0) is an *exact* fixed point of the rhs, so
+   bulk blocks hold constants and genuinely freeze — and its kernels are
+   position-independent, which is what entitles the forest to freeze them. *)
+let init_zoo_sharp (sim : Pfcore.Timestep.t) =
+  let fields = sim.Pfcore.Timestep.gen.Pfcore.Genkernels.fields in
+  let block = sim.Pfcore.Timestep.block in
+  let buf = Vm.Engine.buffer block fields.Pfcore.Model.phi_src in
+  let off = block.Vm.Engine.offset in
+  Vm.Buffer.init buf (fun coords comp ->
+      let gx = coords.(0) + off.(0) and gy = coords.(1) + off.(1) in
+      let inside = gx >= 1 && gx <= 3 && gy >= 1 && gy <= 3 in
+      match (comp, inside) with
+      | 0, true -> 0.5
+      | 0, false -> 1.
+      | _, true -> 0.25
+      | _, false -> 0.)
+
+let zoo_adaptive ~count =
+  QCheck.Test.make
+    ~name:"oracle5 zoo: adaptive forest = uniform fine grid (bitwise)" ~count
+    Gen.arb_zoo
+    (fun s ->
+      let s = { s with Gen.zf = 2 } in
+      let gen = zoo_gen s in
+      let phi = gen.Pfcore.Genkernels.fields.Pfcore.Model.phi_src in
+      let uniform = Pfcore.Timestep.create ~dims:global2 gen in
+      init_zoo_sharp uniform;
+      Pfcore.Timestep.prime uniform;
+      Pfcore.Timestep.run uniform ~steps:s.Gen.zsteps;
+      let af =
+        Blocks.Adaptive.create ~ranks:(1 + (s.Gen.zseed mod 3))
+          ~num_domains:s.Gen.zdomains ~tile:s.Gen.ztile
+          ?backend:(if s.Gen.zjit then Some Vm.Engine.Jit else None)
+          ~bgrid:[| 2; 2 |]
+          ~block_dims:[| global2.(0) / 2; global2.(1) / 2 |]
+          gen
+      in
+      List.iter init_zoo_sharp (Blocks.Adaptive.active_sims af);
+      Blocks.Adaptive.prime af;
+      Blocks.Adaptive.run af ~steps:s.Gen.zsteps;
+      let ubuf = Vm.Engine.buffer uniform.Pfcore.Timestep.block phi in
+      let ok = ref true in
+      for gy = 0 to global2.(1) - 1 do
+        for gx = 0 to global2.(0) - 1 do
+          for c = 0 to phi.Fieldspec.components - 1 do
+            let a = Vm.Buffer.get ubuf ~component:c [| gx; gy |] in
+            let b = Blocks.Adaptive.get af phi ~component:c [| gx; gy |] in
+            if not (bits_equal a b) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 12: automatic variational derivative vs. finite differences  *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny self-contained reference implementation: fields are plain float
+   arrays over a periodic 12x10 grid (no VM, no ghost cells), the discrete
+   energy is the sum of the discretized density over all cells, and the
+   functional derivative at cell j is probed by central differences on the
+   state vector.  The subject is [Varder.run] — differentiate first, then
+   discretize — evaluated at the same cell. *)
+
+let o12_dims = [| 12; 10 |]
+let o12_cells = o12_dims.(0) * o12_dims.(1)
+
+(* Smooth single-mode probe per (field, component): base in [0.35, 0.45],
+   amplitude 0.08 at the lowest wavenumber the grid supports, with a
+   Philox-keyed phase.  See [o12_tolerance] for why the probe must stay
+   far below the grid Nyquist. *)
+let o12_state ~seed =
+  let tbl : (string * int, float array) Hashtbl.t = Hashtbl.create 8 in
+  fun (name, comp) ->
+    match Hashtbl.find_opt tbl (name, comp) with
+    | Some a -> a
+    | None ->
+      let key = (Hashtbl.hash name mod 97) + (31 * comp) in
+      let phase = Float.pi *. Philox.symmetric ~cell:key ~step:seed ~slot:29 in
+      let base = 0.4 +. (0.05 *. Philox.symmetric ~cell:key ~step:seed ~slot:30) in
+      let qx = 2. *. Float.pi /. float_of_int o12_dims.(0) in
+      let qy = 2. *. Float.pi /. float_of_int o12_dims.(1) in
+      let a =
+        Array.init o12_cells (fun cell ->
+            let x = cell mod o12_dims.(0) and y = cell / o12_dims.(0) in
+            base
+            +. (0.08 *. sin ((qx *. float_of_int x) +. (qy *. float_of_int y) +. phase)))
+      in
+      Hashtbl.add tbl (name, comp) a;
+      a
+
+let o12_eval ~state ~bindings expr ~x ~y =
+  let env =
+    Eval.env
+      ~sym:(fun sy -> List.assoc sy bindings)
+      ~access:(fun (a : Fieldspec.access) ->
+        let wrap v n = ((v mod n) + n) mod n in
+        let px = wrap (x + a.Fieldspec.offsets.(0)) o12_dims.(0) in
+        let py = wrap (y + a.Fieldspec.offsets.(1)) o12_dims.(1) in
+        (state (a.Fieldspec.field.Fieldspec.name, a.Fieldspec.component)).((py
+                                                                            * o12_dims.(0))
+                                                                           + px))
+      ~coord:(fun _ -> 0.)
+      ~rand:(fun _ -> 0.)
+      ()
+  in
+  Eval.eval env expr
+
+(* The discrete energy (dx = 1, so no volume factor) and its central
+   difference in one state-vector entry. *)
+let o12_energy ~state ~bindings d_density =
+  let acc = ref 0. in
+  for y = 0 to o12_dims.(1) - 1 do
+    for x = 0 to o12_dims.(0) - 1 do
+      acc := !acc +. o12_eval ~state ~bindings d_density ~x ~y
+    done
+  done;
+  !acc
+
+let o12_fd ~state ~bindings d_density ~arr ~cell =
+  let h = 1e-5 in
+  let saved = arr.(cell) in
+  arr.(cell) <- saved +. h;
+  let ep = o12_energy ~state ~bindings d_density in
+  arr.(cell) <- saved -. h;
+  let em = o12_energy ~state ~bindings d_density in
+  arr.(cell) <- saved;
+  (ep -. em) /. (2. *. h)
+
+let o12_ad ~state ~bindings density ~wrt ~x ~y =
+  let scheme = Fd.Discretize.create ~dx:(Expr.num 1.) ~dim:2 () in
+  o12_eval ~state ~bindings (Fd.Discretize.discretize scheme (Energy.Varder.run ~dim:2 density ~wrt)) ~x ~y
+
+(* Tolerance (the documented one, like Drift's 1.2x threshold): bulk terms
+   commute exactly between differentiate-then-discretize and
+   discretize-then-differentiate, and so does the Swift-Hohenberg operator
+   (the compact Laplacian is symmetric under the periodic sum).  Plain
+   gradient terms do not: the AD side discretizes div(kappa grad u) with
+   the compact 3-point Laplacian, while differentiating the energy's
+   central-difference gradient yields the wide (2h) Laplacian — second-
+   order operators whose symbols differ by O((q dx)^2).  On the probe mode
+   (qx = 2pi/12, qy = 2pi/10, amplitude 0.08) that is at most ~0.005 per
+   unit coefficient; the budget of 0.02 per unit coefficient passes with
+   4x margin yet still fails on a sign flip, a dropped term or a missing
+   factor 2 (all >= 0.05 absolute on the same probe). *)
+let o12_tolerance coef_sum = 0.02 *. (1. +. coef_sum)
+
+let u_of_func (s : Gen.func_sample) =
+  Fieldspec.create ~dim:2 ~components:s.Gen.fn_comps "o12_u"
+
+let density_of_func (s : Gen.func_sample) u =
+  let comp i = Expr.access (Fieldspec.center ~component:(i mod s.Gen.fn_comps) u) in
+  let all = Array.init s.Gen.fn_comps comp in
+  Energy.Functional.sum
+    (List.map
+       (function
+         | Gen.Zwell (w, i) -> Energy.Functional.double_well ~w:(Expr.num w) (comp i)
+         | Gen.Zgrad (k, i) ->
+           Energy.Functional.square_gradient ~dim:2 ~kappa:(Expr.num k) (comp i)
+         | Gen.Zcouple c -> Energy.Functional.pair_coupling ~c:(Expr.num c) all
+         | Gen.Zdrive (m, i) -> Energy.Functional.linear_drive ~m:(Expr.num m) (comp i)
+         | Gen.Zcrystal (r, i) ->
+           Energy.Functional.swift_hohenberg ~dim:2 ~r:(Expr.num r) (comp i))
+       s.Gen.fn_terms)
+
+let ad_vs_fd ~count =
+  QCheck.Test.make
+    ~name:"oracle12: Varder = finite-difference functional derivative" ~count
+    Gen.arb_func
+    (fun s ->
+      let u = u_of_func s in
+      let density = density_of_func s u in
+      let comp = s.Gen.fn_comp mod s.Gen.fn_comps in
+      let wrt = Expr.access (Fieldspec.center ~component:comp u) in
+      let scheme = Fd.Discretize.create ~dx:(Expr.num 1.) ~dim:2 () in
+      let d_density = Fd.Discretize.discretize scheme density in
+      let state = o12_state ~seed:s.Gen.fn_seed in
+      let cell = s.Gen.fn_cell mod o12_cells in
+      let x = cell mod o12_dims.(0) and y = cell / o12_dims.(0) in
+      let arr = state (u.Fieldspec.name, comp) in
+      let fd = o12_fd ~state ~bindings:[] d_density ~arr ~cell in
+      let ad = o12_ad ~state ~bindings:[] density ~wrt ~x ~y in
+      let coef_sum =
+        List.fold_left (fun acc t -> acc +. Float.abs (Gen.zterm_coef t)) 0. s.Gen.fn_terms
+      in
+      Float.abs (ad -. fd) <= o12_tolerance coef_sum)
+
+(* The same check over the zoo families' actual densities (coefficients of
+   order eps*gamma for eutectic), probing a random phase component.  The
+   commutation error analysis above scales with the coefficients, hence
+   the wider flat budget. *)
+let zoo_ad_vs_fd ~count =
+  QCheck.Test.make
+    ~name:"oracle12 zoo: family density, Varder = finite differences" ~count
+    Gen.arb_zoo
+    (fun s ->
+      let p = Gen.zoo_params s in
+      let f = Pfcore.Model.make_fields p in
+      let ctx = Pfcore.Model.make_ctx ~symbolic:false in
+      let density =
+        Expr.subst
+          [ (Pfcore.Model.t_loc, Expr.num 0.47) ]
+          (Pfcore.Model.family_density ctx p f)
+      in
+      let bindings = Pfcore.Genkernels.guard_bindings in
+      let comp = s.Gen.zseed mod p.Pfcore.Params.n_phases in
+      let wrt = Pfcore.Model.phi_at ~component:comp f.Pfcore.Model.phi_src in
+      let scheme = Fd.Discretize.create ~dx:(Expr.num 1.) ~dim:2 () in
+      let d_density = Fd.Discretize.discretize scheme density in
+      let state = o12_state ~seed:s.Gen.zseed in
+      let cell = s.Gen.zseed mod o12_cells in
+      let x = cell mod o12_dims.(0) and y = cell / o12_dims.(0) in
+      let arr = state (f.Pfcore.Model.phi_src.Fieldspec.name, comp) in
+      let fd = o12_fd ~state ~bindings d_density ~arr ~cell in
+      let ad = o12_ad ~state ~bindings density ~wrt ~x ~y in
+      Float.abs (ad -. fd) <= 0.05 +. (0.02 *. (Float.abs ad +. Float.abs fd)))
+
+(** Worst observed |AD − FD| deviation of one zoo family (at the preset
+    coefficients) over every phase component and a spread of probe cells —
+    the per-family number BENCH_zoo.json records, gated by the same budget
+    as the oracle.  Returns [(max_deviation, within_budget)]. *)
+let o12_family_deviation ~zf ~seed =
+  let s =
+    {
+      Gen.zf;
+      zcoef = 0;
+      zseed = seed;
+      zsplit = false;
+      zsteps = 1;
+      zdomains = 1;
+      ztile = [| 0; 0 |];
+      zjit = false;
+    }
+  in
+  let p = Gen.zoo_params s in
+  let f = Pfcore.Model.make_fields p in
+  let ctx = Pfcore.Model.make_ctx ~symbolic:false in
+  let density =
+    Expr.subst
+      [ (Pfcore.Model.t_loc, Expr.num 0.47) ]
+      (Pfcore.Model.family_density ctx p f)
+  in
+  let bindings = Pfcore.Genkernels.guard_bindings in
+  let scheme = Fd.Discretize.create ~dx:(Expr.num 1.) ~dim:2 () in
+  let d_density = Fd.Discretize.discretize scheme density in
+  let state = o12_state ~seed in
+  let worst = ref 0. and ok = ref true in
+  for comp = 0 to p.Pfcore.Params.n_phases - 1 do
+    let wrt = Pfcore.Model.phi_at ~component:comp f.Pfcore.Model.phi_src in
+    let arr = state (f.Pfcore.Model.phi_src.Fieldspec.name, comp) in
+    List.iter
+      (fun cell ->
+        let x = cell mod o12_dims.(0) and y = cell / o12_dims.(0) in
+        let fd = o12_fd ~state ~bindings d_density ~arr ~cell in
+        let ad = o12_ad ~state ~bindings density ~wrt ~x ~y in
+        let dev = Float.abs (ad -. fd) in
+        if dev > !worst then worst := dev;
+        if dev > 0.05 +. (0.02 *. (Float.abs ad +. Float.abs fd)) then ok := false)
+      [ 0; 17; 53; 91; 118 ]
+  done;
+  (!worst, !ok)
+
+(* ------------------------------------------------------------------ *)
 (* The harness's test list                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -877,5 +1472,17 @@ let all ~count =
       adaptive_vs_uniform ~count:(max 2 (count / 8));
       adaptive_snapshot_roundtrip ~count:(max 2 (count / 8));
       adaptive_crash_restart ~count:(max 2 (count / 8));
+      (* model zoo: the whole battery re-run over the combinator families *)
+      ad_vs_fd ~count;
+      zoo_ad_vs_fd ~count:(max 3 (count / 3));
+      zoo_opt_vs_raw ~count:(max 2 (count / 6));
+      zoo_engine_vs_eval ~count:(max 3 (count / 4));
+      zoo_full_vs_split ~count:(max 3 (count / 4));
+      zoo_exec_paths ~count:(max 3 (count / 4));
+      zoo_single_vs_forest ~count:(max 2 (count / 6));
+      zoo_snapshot_roundtrip ~count:(max 2 (count / 6));
+      zoo_overlap ~count:(max 2 (count / 8));
+      zoo_reduce ~count:(max 2 (count / 6));
+      zoo_adaptive ~count:(max 2 (count / 8));
     ]
   @ Obs_props.tests ~count

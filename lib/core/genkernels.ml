@@ -17,7 +17,8 @@ type t = {
   phi_split : pair;
   mu_full : Ir.Kernel.t option;
   mu_split : pair option;
-  projection : Ir.Kernel.t;
+  projection : Ir.Kernel.t option;
+      (** [None] for families whose fields are not simplex-constrained *)
   bindings : (string * float) list;
       (** parameter values; kernel arguments when generated symbolically,
           already folded into the code otherwise *)
@@ -129,7 +130,7 @@ let generate ?(opts = default_options) (p : Params.t) =
     phi_split;
     mu_full;
     mu_split;
-    projection = projection_kernel p f;
+    projection = (if Model.needs_projection p then Some (projection_kernel p f) else None);
     bindings = guard_bindings @ ctx.Model.bindings;
   }
 

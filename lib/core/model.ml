@@ -32,12 +32,16 @@ type fields = {
 let make_fields (p : Params.t) =
   let dim = p.dim in
   let n = p.n_phases and km = max 1 (Params.n_mu p) in
+  (* PFC's split variant caches two distinct fluxes per axis — ∇ψ from the
+     Laplacian atoms and ∇(ψ+∇²ψ) from the second-order Euler–Lagrange
+     term — while n_phases is 1, so its staggered field gets extra slots. *)
+  let stag_n = match p.family with Params.Pfc _ -> 2 | _ -> n in
   {
     phi_src = Fieldspec.create ~dim ~components:n "phi_src";
     phi_dst = Fieldspec.create ~dim ~components:n "phi_dst";
     mu_src = Fieldspec.create ~dim ~components:km "mu_src";
     mu_dst = Fieldspec.create ~dim ~components:km "mu_dst";
-    phi_stag = Fieldspec.create ~kind:Fieldspec.Staggered ~dim ~components:n "phi_stag";
+    phi_stag = Fieldspec.create ~kind:Fieldspec.Staggered ~dim ~components:stag_n "phi_stag";
     mu_stag = Fieldspec.create ~kind:Fieldspec.Staggered ~dim ~components:km "mu_stag";
   }
 
@@ -156,9 +160,74 @@ let tau_interpolated ctx (p : Params.t) phis =
   let tau_bulk = scalar ctx "tau_bulk" 1.0 in
   select (Le (sum_w, num guard_eps)) tau_bulk (div (add !weighted) sum_w)
 
+(* ------------------------------------------------------------------ *)
+(* Zoo families (combinator-built densities)                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Swift–Hohenberg density for the PFC family, parameters through [ctx]. *)
+let pfc_density ctx (p : Params.t) f r =
+  let u = phi_at f.phi_src in
+  Energy.Functional.swift_hohenberg ~dim:p.dim ~r:(scalar ctx "pfc_r" r) u
+
+(** Dirichlet (diffusion) part of the Gray–Scott free energy — the
+    variational half of the dynamics; the reaction terms are added
+    non-variationally in the rhs. *)
+let gray_scott_density ctx (p : Params.t) f ~du ~dv =
+  let u = phi_at ~component:0 f.phi_src and v = phi_at ~component:1 f.phi_src in
+  Energy.Functional.sum
+    [
+      Energy.Functional.square_gradient ~dim:p.dim ~kappa:(scalar ctx "gs_du" du) u;
+      Energy.Functional.square_gradient ~dim:p.dim ~kappa:(scalar ctx "gs_dv" dv) v;
+    ]
+
+(** The variational free-energy density of the model family — what oracle
+    12 differentiates by finite differences. *)
+let family_density ctx (p : Params.t) f =
+  match p.family with
+  | Params.Solidification -> energy_density ctx p f
+  | Params.Pfc { r } -> pfc_density ctx p f r
+  | Params.Gray_scott { du; dv; _ } -> gray_scott_density ctx p f ~du ~dv
+
+(** PFC: non-conserved relaxation ∂ψ/∂t = −M·δΨ/δψ = M·(rψ − (1+∇²)²ψ − ψ³),
+    the stiffness-friendly dynamics (conserved PFC would need ∇²δΨ/δψ and a
+    third ghost layer). *)
+let pfc_rhs ctx (p : Params.t) f r =
+  let u = phi_at f.phi_src in
+  let density = pfc_density ctx p f r in
+  let mob = [| scalar ctx "pfc_mob" p.tau.(0).(0) |] in
+  [|
+    Energy.Functional.diag_mobility mob 0
+      (neg (Energy.Varder.run ~dim:p.dim density ~wrt:u));
+  |]
+
+(** Gray–Scott: ∂u/∂t = Du∇²u − uv² + F(1−u), ∂v/∂t = Dv∇²v + uv² − (F+k)v.
+    The diffusion terms come out of [Varder] applied to the Dirichlet
+    density (keeping them in divergence form for the split variant); the
+    autocatalytic reaction uv² and the feed/kill drains do not derive from
+    a potential and are added directly. *)
+let gray_scott_rhs ctx (p : Params.t) f ~du ~dv ~feed ~kill =
+  let u = phi_at ~component:0 f.phi_src and v = phi_at ~component:1 f.phi_src in
+  let density = gray_scott_density ctx p f ~du ~dv in
+  let feed = scalar ctx "gs_feed" feed and kill = scalar ctx "gs_kill" kill in
+  let react = mul [ u; sq v ] in
+  [|
+    add
+      [
+        neg (Energy.Varder.run ~dim:p.dim density ~wrt:u);
+        neg react;
+        mul [ feed; sub one u ];
+      ];
+    add
+      [
+        neg (Energy.Varder.run ~dim:p.dim density ~wrt:v);
+        react;
+        neg (mul [ add [ feed; kill ]; v ]);
+      ];
+  |]
+
 (** Continuous Allen–Cahn right-hand sides ∂φ_α/∂t for all phases.
     The temperature placeholder is substituted at the end. *)
-let phi_rhs ctx (p : Params.t) f =
+let solidification_phi_rhs ctx (p : Params.t) f =
   let density = energy_density ctx p f in
   let phis = phis p f.phi_src in
   let n = p.n_phases in
@@ -176,6 +245,20 @@ let phi_rhs ctx (p : Params.t) f =
       in
       let rhs = mul [ inv_tau_eps; add [ neg dpsi.(alpha); lagrange; fluct ] ] in
       subst [ (t_loc, temp) ] rhs)
+
+(** Family dispatch: continuous evolution right-hand sides of the primary
+    (phase / density / species) fields. *)
+let phi_rhs ctx (p : Params.t) f =
+  match p.family with
+  | Params.Solidification -> solidification_phi_rhs ctx p f
+  | Params.Pfc { r } -> pfc_rhs ctx p f r
+  | Params.Gray_scott { du; dv; feed; kill } -> gray_scott_rhs ctx p f ~du ~dv ~feed ~kill
+
+(** Whether the family's primary fields live on the Gibbs simplex and need
+    the projection step after each update (paper Algorithm 1).  PFC's ψ and
+    Gray–Scott's concentrations are unconstrained. *)
+let needs_projection (p : Params.t) =
+  match p.family with Params.Solidification -> true | Params.Pfc _ | Params.Gray_scott _ -> false
 
 (** Anti-trapping current J_at (paper eq. 10), component [i] of the flux
     along axis [d]; [phidot] are the discrete-in-time ∂φ_α/∂t built from

@@ -21,8 +21,22 @@ type temperature =
       (** analytic frozen-temperature approximation
           T(x,t) = t0 + grad * (x_axis - velocity * t) *)
 
+(** Model family: selects which free-energy functional (and which dynamics)
+    [Model] assembles from the combinator library.  [Solidification] is the
+    paper's grand-potential model; the zoo families reuse the same parameter
+    record, ignoring the chemistry fields they don't need. *)
+type family =
+  | Solidification
+  | Pfc of { r : float }
+      (** Swift–Hohenberg phase-field crystal, undercooling [r];
+          non-conserved dynamics ∂ψ/∂t = −δΨ/δψ *)
+  | Gray_scott of { du : float; dv : float; feed : float; kill : float }
+      (** Gray–Scott reaction–diffusion: variational diffusion part plus
+          non-variational reaction terms uv² and the feed/kill drains *)
+
 type t = {
   name : string;
+  family : family;
   dim : int;
   n_phases : int;
   n_comps : int;       (** K chemical components; μ has K-1 entries *)
@@ -70,6 +84,7 @@ let p1 ?(dim = 3) () =
   let solid_b = [| [| 0.4; 0.2 |]; [| -0.3; 0.5 |]; [| -0.1; -0.6 |] |] in
   {
     name = "P1";
+    family = Solidification;
     dim;
     n_phases = n;
     n_comps = k;
@@ -124,6 +139,7 @@ let p2 ?(dim = 3) () =
   in
   {
     name = "P2";
+    family = Solidification;
     dim;
     n_phases = n;
     n_comps = k;
@@ -155,6 +171,7 @@ let curvature ?(dim = 2) () =
   let n = 2 and k = 1 in
   {
     name = "curvature";
+    family = Solidification;
     dim;
     n_phases = n;
     n_comps = k;
@@ -177,6 +194,116 @@ let curvature ?(dim = 2) () =
     dx = 1.0;
     dt = 0.05;
   }
+
+(** Eutectic directional solidification (Bauer/Hötzer 2015, the
+    grand-challenge run): two solid lamellae + liquid, binary chemistry
+    (scalar μ), isotropic interfaces, temperature gradient along the last
+    axis moving with the pulling velocity.  Defaults to 2-D so the example
+    and the adaptive/forest verification twins stay cheap. *)
+let eutectic ?(dim = 2) () =
+  let n = 3 and k = 2 in
+  let km = k - 1 in
+  let liquid = 2 in
+  (* opposite-signed solid fits: solid 0 grows where μ > 0, solid 1 where
+     μ < 0, which is what keeps the lamellae alternating *)
+  let solid_b = [| [| 0.35 |]; [| -0.35 |] |] in
+  {
+    name = "eutectic";
+    family = Solidification;
+    dim;
+    n_phases = n;
+    n_comps = k;
+    liquid;
+    gamma = square n (fun i j -> if i = j then 0. else if i = liquid || j = liquid then 0.6 else 1.0);
+    gamma3 = 12.0;
+    aniso = square n (fun _ _ -> Iso);
+    tau = square n (fun i j -> if i = j then 0. else if i = liquid || j = liquid then 1.0 else 5.0);
+    eps = 4.0;
+    diffusion = [| 0.001; 0.001; 1.0 |];
+    par_a0 = Array.init n (fun alpha -> diag_a km (if alpha = liquid then -0.5 else -0.55));
+    par_a1 = Array.init n (fun _ -> diag_a km 0.0);
+    par_b0 =
+      Array.init n (fun alpha ->
+          if alpha = liquid then Array.make km 0.0 else solid_b.(alpha));
+    par_b1 =
+      Array.init n (fun alpha -> if alpha = liquid then Array.make km 0.0 else [| 0.05 |]);
+    par_c0 = Array.init n (fun alpha -> if alpha = liquid then 0.0 else -0.02);
+    par_c1 = Array.init n (fun alpha -> if alpha = liquid then 0.0 else 0.04);
+    temp = Gradient { t0 = 0.5; grad = 0.001; axis = dim - 1; velocity = 0.001 };
+    fluctuation = 0.;
+    anti_trapping = true;
+    dx = 1.0;
+    dt = 0.02;
+  }
+
+(** Swift–Hohenberg phase-field crystal (Elder & Grant 2004): one density
+    field ψ, no chemistry.  Non-conserved relaxation keeps the stencil
+    within the standard two ghost layers; with the compact Laplacian's
+    spectrum λ ∈ [−4·dim/dx², 0] the explicit-Euler rhs Jacobian is bounded
+    by max(r, (1+|λ|)²) ≈ 81 in 2-D, so dt = 0.02 is comfortably stable. *)
+let pfc ?(dim = 2) () =
+  let n = 1 and k = 1 in
+  {
+    name = "pfc";
+    family = Pfc { r = 0.25 };
+    dim;
+    n_phases = n;
+    n_comps = k;
+    liquid = 0;
+    gamma = square n (fun _ _ -> 0.);
+    gamma3 = 0.;
+    aniso = square n (fun _ _ -> Iso);
+    tau = square n (fun _ _ -> 1.0);
+    eps = 1.0;
+    diffusion = Array.make n 1.0;
+    par_a0 = Array.init n (fun _ -> [||]);
+    par_a1 = Array.init n (fun _ -> [||]);
+    par_b0 = Array.init n (fun _ -> [||]);
+    par_b1 = Array.init n (fun _ -> [||]);
+    par_c0 = Array.make n 0.;
+    par_c1 = Array.make n 0.;
+    temp = Const_temp 1.0;
+    fluctuation = 0.;
+    anti_trapping = false;
+    dx = 1.0;
+    dt = 0.02;
+  }
+
+(** Gray–Scott reaction–diffusion (Pearson 1993's classic discrete
+    parameterization: du=0.16, dv=0.08 at dx=1, dt=1).  The two phases are
+    the substrate u and activator v; the diffusion part is variational
+    (Dirichlet energies), the reaction part is added non-variationally. *)
+let gray_scott ?(dim = 2) () =
+  let n = 2 and k = 1 in
+  {
+    name = "gray-scott";
+    family = Gray_scott { du = 0.16; dv = 0.08; feed = 0.035; kill = 0.065 };
+    dim;
+    n_phases = n;
+    n_comps = k;
+    liquid = 0;
+    gamma = square n (fun _ _ -> 0.);
+    gamma3 = 0.;
+    aniso = square n (fun _ _ -> Iso);
+    tau = square n (fun _ _ -> 1.0);
+    eps = 1.0;
+    diffusion = [| 0.16; 0.08 |];
+    par_a0 = Array.init n (fun _ -> [||]);
+    par_a1 = Array.init n (fun _ -> [||]);
+    par_b0 = Array.init n (fun _ -> [||]);
+    par_b1 = Array.init n (fun _ -> [||]);
+    par_c0 = Array.make n 0.;
+    par_c1 = Array.make n 0.;
+    temp = Const_temp 1.0;
+    fluctuation = 0.;
+    anti_trapping = false;
+    dx = 1.0;
+    dt = 1.0;
+  }
+
+(** The zoo families registered behind [Model.t], keyed by [t.name] — used
+    by the CLI model selector, the check generators and the bench table. *)
+let zoo () = [ eutectic (); pfc (); gray_scott () ]
 
 (** Number of configuration parameters the model instance fixes at compile
     time (paper §5.1: 2(N²+N+1) for the driving force plus N(K−1)² for the

@@ -79,6 +79,65 @@ let init_seeds ~seeds ~radius (t : Timestep.t) =
   fill_mu t 0.;
   Timestep.prime t
 
+(* Zoo initial conditions — functions of global coordinates like the
+   solidification ones, so decomposed runs reproduce single-block state
+   bitwise. *)
+
+let set_fields (t : Timestep.t) value =
+  let offset = t.block.Vm.Engine.offset in
+  let assign buf =
+    Vm.Buffer.init buf (fun coords c ->
+        let global = Array.mapi (fun d x -> x + offset.(d)) coords in
+        value c global)
+  in
+  assign (phi_buffer t);
+  assign (phi_dst_buffer t)
+
+(** Phase-field crystal: uniform melt at density [mean] modulated by a
+    product-of-cosines seed — the classic one-mode crystalline nucleus. *)
+let init_pfc ?(mean = 0.285) ?(amplitude = 0.1) (t : Timestep.t) =
+  let q = Float.pi /. 4. in
+  set_fields t (fun _ global ->
+      let modulation =
+        Array.fold_left (fun acc x -> acc *. cos (q *. (float_of_int x +. 0.5))) 1. global
+      in
+      mean +. (amplitude *. modulation));
+  fill_mu t 0.;
+  Timestep.prime t
+
+(** Gray–Scott: substrate-filled domain (u=1, v=0) with a central square
+    perturbation (u=0.5, v=0.25) that seeds the patterns (Pearson 1993). *)
+let init_gray_scott (t : Timestep.t) =
+  let dims = t.block.Vm.Engine.global_dims in
+  let inside global =
+    let ok = ref true in
+    Array.iteri
+      (fun d x ->
+        let half = dims.(d) / 2 and w = max 1 (dims.(d) / 8) in
+        if abs (x - half) > w then ok := false)
+      global;
+    !ok
+  in
+  set_fields t (fun c global ->
+      match (inside global, c) with
+      | true, 0 -> 0.5
+      | true, _ -> 0.25
+      | false, 0 -> 1.
+      | false, _ -> 0.);
+  fill_mu t 0.;
+  Timestep.prime t
+
+(** Family-appropriate default scenario: lamellae/sphere for the
+    solidification models, crystalline seed for PFC, Pearson square for
+    Gray–Scott. *)
+let init_model (t : Timestep.t) =
+  let p = t.gen.Genkernels.params in
+  match p.Params.family with
+  | Params.Pfc _ -> init_pfc t
+  | Params.Gray_scott _ -> init_gray_scott t
+  | Params.Solidification ->
+    if Params.n_mu p > 0 then init_lamellae t else init_sphere t
+
 (** Smooth near-simplex-center fields in every buffer (the probe pattern
     the autotuner and the drift oracle use): exercises the kernels' full
     arithmetic with no degenerate denominators, and is deterministic, so
@@ -174,14 +233,20 @@ let tip_position ?axis (t : Timestep.t) =
   loop 0;
   !tip
 
-(** Range check: all φ within the simplex (after projection) and finite. *)
+(** Range check: all fields finite, and for simplex-constrained families
+    all φ within the simplex (after projection).  PFC's ψ and Gray–Scott's
+    concentrations are unconstrained, so only finiteness (plus a loose
+    blow-up bound) applies. *)
 let check_sane (t : Timestep.t) =
   let buf = phi_buffer t in
   Array.for_all Float.is_finite buf.Vm.Buffer.data
   &&
+  let lo, hi =
+    match t.gen.Genkernels.params.Params.family with
+    | Params.Solidification -> (-1e-9, 1. +. 1e-9)
+    | Params.Pfc _ | Params.Gray_scott _ -> (-10., 10.)
+  in
   let ok = ref true in
-  Array.iter
-    (fun v -> if v < -1e-9 || v > 1. +. 1e-9 then ok := false)
-    buf.Vm.Buffer.data;
+  Array.iter (fun v -> if v < lo || v > hi then ok := false) buf.Vm.Buffer.data;
   !ok
 

@@ -32,7 +32,7 @@ type t = {
   mu_full : Vm.Engine.bound option;
   mu_stag : Vm.Engine.bound option;
   mu_main : Vm.Engine.bound option;
-  projection : Vm.Engine.bound;
+  projection : Vm.Engine.bound option;
   mutable step_count : int;
   mutable time : float;
 }
@@ -80,7 +80,7 @@ let create ?(variant_phi = Full) ?(variant_mu = Full)
     mu_full = Option.map bind gen.mu_full;
     mu_stag = Option.map (fun (p : Genkernels.pair) -> bind p.stag) gen.mu_split;
     mu_main = Option.map (fun (p : Genkernels.pair) -> bind p.main) gen.mu_split;
-    projection = bind gen.projection;
+    projection = Option.map bind gen.projection;
     step_count = 0;
     time = 0.;
   }
@@ -120,8 +120,10 @@ let phase_phi t =
           | Split ->
             run_kernel t t.phi_stag;
             run_kernel t t.phi_main);
-          Obs.Span.with_ ~cat:"step" "projection" (fun () ->
-              run_kernel t t.projection)))
+          match t.projection with
+          | None -> ()
+          | Some proj ->
+            Obs.Span.with_ ~cat:"step" "projection" (fun () -> run_kernel t proj)))
 
 (** Phase 2: μ kernel(s) (Algorithm 1, line 3); requires φ_dst ghosts. *)
 let phase_mu t =

@@ -139,3 +139,60 @@ let concentration ~a ~b ~mu =
 (** Driving force ψ(φ,μ,T) = Σ_α ψ_α(μ,T) h_α(φ). *)
 let driving_force ~psis ~phis =
   add (Array.to_list (Array.mapi (fun alpha psi -> mul [ psi; h phis.(alpha) ]) psis))
+
+(* ------------------------------------------------------------------ *)
+(* Combinator library (model zoo)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Free-energy densities are plain [Expr.t] values over field accesses and
+   their [Diff] atoms, so arbitrary functionals compose with [sum]/[scale]
+   and [Varder.run] takes their variational derivative automatically —
+   including the second-order Euler–Lagrange term that [swift_hohenberg]
+   needs.  Model families in [Core.Model] are assembled from these. *)
+
+(** Weighted sum of density terms. *)
+let sum = add
+
+(** Scale a density term by a coefficient expression. *)
+let scale c t = mul [ c; t ]
+
+(** Classic double well w·u²(1−u)², minima at 0 and 1. *)
+let double_well ~w u = mul [ w; sq u; sq (sub one u) ]
+
+(** Multi-well Σ_α w·φ_α²(1−φ_α)² over a phase vector. *)
+let multi_well ~w phis = add (Array.to_list (Array.map (fun p -> double_well ~w p) phis))
+
+(** Pairwise coupling c·Σ_{α<β} φ_α² φ_β² penalising phase overlap. *)
+let pair_coupling ~c phis =
+  let n = Array.length phis in
+  let terms = ref [] in
+  for beta = n - 1 downto 0 do
+    for alpha = beta - 1 downto 0 do
+      terms := mul [ c; sq phis.(alpha); sq phis.(beta) ] :: !terms
+    done
+  done;
+  (match !terms with [] -> zero | ts -> add ts)
+
+(** Square-gradient (Dirichlet) interface energy ½·κ·|∇u|². *)
+let square_gradient ~dim ~kappa u = mul [ num 0.5; kappa; Varder.grad_sq ~dim u ]
+
+(** Linear driving-force term −m·u (chemical or thermal drive). *)
+let linear_drive ~m u = neg (mul [ m; u ])
+
+(** Swift–Hohenberg / phase-field-crystal density (Elder & Grant 2004):
+      f(ψ) = −½·r·ψ² + ½·((1+∇²)ψ)² + ¼·ψ⁴.
+    The (1+∇²)ψ operator makes the density depend on the second-derivative
+    atoms [Diff (Diff (ψ,d), d)]; its variational derivative
+    r·ψ − (1+∇²)²ψ − ψ³ exercises [Varder]'s second-order term. *)
+let swift_hohenberg ~dim ~r u =
+  let lin = add [ u; Varder.lap ~dim u ] in
+  sum
+    [
+      scale (num (-0.5)) (mul [ r; sq u ]);
+      scale (num 0.5) (sq lin);
+      scale (num 0.25) (pow u 4);
+    ]
+
+(** Diagonal mobility tensor: component [i] of the evolution equation is
+    scaled by [coeffs.(i)] (constant or φ-interpolated expressions). *)
+let diag_mobility coeffs i rhs = mul [ coeffs.(i); rhs ]

@@ -1,15 +1,19 @@
 (** Variational (functional) derivatives.
 
-    For an energy density [psi(u, ∇u)] the Euler–Lagrange / variational
+    For an energy density [psi(u, ∇u, ∇∇u)] the Euler–Lagrange / variational
     derivative with respect to the field component [u] is
 
       δΨ/δu = ∂psi/∂u − Σ_d ∂_d ( ∂psi/∂(∂_d u) )
+                       + Σ_{d,d'} ∂_d ∂_d' ( ∂psi/∂(∂_d' ∂_d u) )
 
-    Gradient components [Diff (u, d)] are treated as independent atoms while
+    Gradient components [Diff (u, d)] — and second-derivative components
+    [Diff (Diff (u, d), d')] — are treated as independent atoms while
     differentiating (sympy's Derivative-as-symbol trick, paper §3.1).  The
-    outer spatial derivative is kept as an un-expanded [Diff] node wrapping
+    outer spatial derivatives are kept as un-expanded [Diff] nodes wrapping
     the whole flux so that the discretizer can apply the staggered
-    divergence-of-fluxes scheme to it. *)
+    divergence-of-fluxes scheme to them.  The second-order term carries a
+    plus sign (two integrations by parts); it is what makes densities like
+    the phase-field-crystal ½((1+∇²)ψ)² expressible. *)
 
 open Symbolic
 open Expr
@@ -23,7 +27,17 @@ let run ~dim density ~wrt =
         let flux = diff density ~wrt:(Diff (wrt, d)) in
         if equal flux zero then zero else neg (Diff (flux, d)))
   in
-  add (bulk :: divergence)
+  let second =
+    List.concat
+      (List.init dim (fun d ->
+           List.init dim (fun d' ->
+               let flux = diff density ~wrt:(Diff (Diff (wrt, d), d')) in
+               if equal flux zero then zero else Diff (Diff (flux, d'), d))))
+  in
+  add ((bulk :: divergence) @ second)
+
+(** Laplacian of a field-access expression, as nested [Diff] atoms. *)
+let lap ~dim u = add (List.init dim (fun d -> Diff (Diff (u, d), d)))
 
 (** Gradient vector of a field-access expression. *)
 let grad ~dim u = List.init dim (fun d -> Diff (u, d))

@@ -90,6 +90,15 @@ let rec stag_eval scheme e axis =
    is expected below a flux). *)
 and discretize_inner scheme e =
   match e with
+  | Diff (Diff (g, d'), d) when d' = d ->
+    (* same-axis second derivative: compact 3-point stencil.  Central of
+       central would reach +-2 cells (and +-3 after the face shift of a
+       staggered flux), overrunning the ghost layers and damping the
+       highest resolved wavenumber. *)
+    let g = discretize_inner scheme g in
+    div
+      (add [ shift_expr scheme g d 1; mul [ num (-2.); g ]; shift_expr scheme g d (-1) ])
+      (mul [ scheme.dx; scheme.dx ])
   | Diff (g, d) -> central scheme (discretize_inner scheme g) d
   | Num _ | Sym _ | Coord _ | Access _ | Rand _ -> e
   | Add xs -> add (List.map (discretize_inner scheme) xs)

@@ -11,14 +11,25 @@
     tile, pool width, backend, rank decomposition, crash recovery), which
     is what entitles the scheduler to promise farm = solo. *)
 
-type family = Curv2d | P1 | P2
+type family = Curv2d | P1 | P2 | Eutectic | Pfc | GrayScott
 
-let family_label = function Curv2d -> "curvature" | P1 -> "p1" | P2 -> "p2"
+let family_label = function
+  | Curv2d -> "curvature"
+  | P1 -> "p1"
+  | P2 -> "p2"
+  | Eutectic -> "eutectic"
+  | Pfc -> "pfc"
+  | GrayScott -> "gray-scott"
 
 let params_of_family = function
   | Curv2d -> Pfcore.Params.curvature ~dim:2 ()
   | P1 -> Pfcore.Params.p1 ()
   | P2 -> Pfcore.Params.p2 ()
+  | Eutectic -> Pfcore.Params.eutectic ()
+  | Pfc -> Pfcore.Params.pfc ()
+  | GrayScott -> Pfcore.Params.gray_scott ()
+
+let all_families = [ Curv2d; P1; P2; Eutectic; Pfc; GrayScott ]
 
 type spec = {
   id : int;  (** position in the workload; also the job's trace lane *)
@@ -56,26 +67,29 @@ let pick ~seed ~job ~knob choices =
 let tenants = [ "amber"; "basalt"; "cobalt" ]
 
 (** Generate [jobs] specs under [seed].  [families] restricts the model
-    mix (oracle 9 keeps to the cheap 2D family; the soak runs all three);
-    [with_crash] mixes in fault-injected 2-rank jobs that must survive a
-    rank crash via rollback recovery. *)
-let generate ?(families = [ Curv2d; P1; P2 ]) ?(with_crash = true) ~seed ~jobs () =
+    mix (oracle 9 keeps to the cheap 2D families; the soak runs the whole
+    zoo); [with_crash] mixes in fault-injected 2-rank jobs that must
+    survive a rank crash via rollback recovery. *)
+let generate ?(families = all_families) ?(with_crash = true) ~seed ~jobs () =
   List.init jobs (fun id ->
       let family = pick ~seed ~job:id ~knob:0 families in
       (* sizes stay even so a 2-rank decomposition always divides them; the
          3D families use smaller edges to bound per-step cost *)
       let size =
         match family with
-        | Curv2d -> pick ~seed ~job:id ~knob:1 [ 8; 12; 16 ]
+        | Curv2d | Pfc | GrayScott -> pick ~seed ~job:id ~knob:1 [ 8; 12; 16 ]
         | P1 -> pick ~seed ~job:id ~knob:1 [ 6; 8 ]
+        (* eutectic's 3-phase/2-component mu kernels are the priciest of
+           the 2D mix; keep its edges modest *)
+        | Eutectic -> pick ~seed ~job:id ~knob:1 [ 8; 12 ]
         (* p2's five-component kernels cost ~1 s/step even on tiny grids;
            keep it in the mix but on the smallest edge only *)
         | P2 -> 6
       in
       let steps =
         match family with
-        | P2 -> pick ~seed ~job:id ~knob:2 [ 2; 3 ]
-        | Curv2d | P1 -> pick ~seed ~job:id ~knob:2 [ 2; 3; 4; 5 ]
+        | P2 | Eutectic -> pick ~seed ~job:id ~knob:2 [ 2; 3 ]
+        | Curv2d | P1 | Pfc | GrayScott -> pick ~seed ~job:id ~knob:2 [ 2; 3; 4; 5 ]
       in
       let priority = pick ~seed ~job:id ~knob:3 [ 0; 1; 2 ] in
       let split = uniform ~seed ~job:id ~knob:4 < 0.5 in

@@ -236,10 +236,24 @@ let compile_assignment binder (a : Assignment.t) : ctx -> unit =
 
 let bind ?(fastest = 0) (kernel : Ir.Kernel.t) (block : block) =
   let required =
-    kernel.Ir.Kernel.ghost
-    + (match kernel.Ir.Kernel.iteration with
-      | Ir.Kernel.CellSweep -> 0
-      | Ir.Kernel.StaggeredSweep _ -> 1 (* sweeps one layer into the ghosts *))
+    match kernel.Ir.Kernel.iteration with
+    | Ir.Kernel.CellSweep -> kernel.Ir.Kernel.ghost
+    | Ir.Kernel.StaggeredSweep axes ->
+      (* The sweep covers one extra upper layer along the staggered axes
+         (face n is the upper face of the last interior cell), so only
+         upper-side reads there shift by one; the sweep still starts at
+         cell 0, so lower-side reads keep their plain extent. *)
+      List.fold_left
+        (fun req (a : Symbolic.Fieldspec.access) ->
+          let r = ref req in
+          Array.iteri
+            (fun d o ->
+              let need = if o >= 0 then o + (if List.mem d axes then 1 else 0) else -o in
+              if need > !r then r := need)
+            a.Symbolic.Fieldspec.offsets;
+          !r)
+        0
+        (Ir.Kernel.loads kernel)
   in
   if required > block.ghost then
     invalid_arg

@@ -598,7 +598,7 @@ let native_source ~nc ~temp_base ~scratch_base ~template tapes =
 (* ------------------------------------------------------------------ *)
 
 type compiled = {
-  fingerprint : int;
+  fingerprint : Digest.t;
   dim : int;
   loop_order : int array;
   fields : Fieldspec.t array;  (** operand table; index = [datas] index *)
@@ -705,20 +705,27 @@ let compile ~fingerprint ~dims ~ghost (kernel : Ir.Kernel.t) (lowered : Ir.Lower
 (* Memo table                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* Structural fingerprint, [Tune.fingerprint]-style: deep body hash so a
-   changed coefficient recompiles, plus everything else the emitted code
-   closes over (loop order, interior dims, ghost width). *)
+(* Structural fingerprint over everything the emitted code closes over:
+   the full kernel body plus loop order, interior dims and ghost width.
+   The body is digested via [Marshal] (the [Snapshot.fingerprint_of_params]
+   idiom) rather than [Hashtbl.hash_param]: the hash traversal budget
+   truncates large kernels, and model variants that differ only deep in
+   the expression tree — the zoo's coefficient variants, for one — would
+   collide and hand a program compiled for a *different* model back to
+   the engine (bitwise divergence, caught by the oracle-8 zoo leg). *)
 let fingerprint ~dims ~ghost (kernel : Ir.Kernel.t) (lowered : Ir.Lower.t) =
-  Hashtbl.hash
-    ( kernel.Ir.Kernel.name,
-      kernel.Ir.Kernel.dim,
-      kernel.Ir.Kernel.ghost,
-      Hashtbl.hash_param 512 4096 kernel.Ir.Kernel.body,
-      Array.to_list lowered.Ir.Lower.loop_order,
-      Array.to_list dims,
-      ghost )
+  Digest.string
+    (Marshal.to_string
+       ( kernel.Ir.Kernel.name,
+         kernel.Ir.Kernel.dim,
+         kernel.Ir.Kernel.ghost,
+         kernel.Ir.Kernel.body,
+         Array.to_list lowered.Ir.Lower.loop_order,
+         Array.to_list dims,
+         ghost )
+       [])
 
-let cache : (int, compiled) Hashtbl.t = Hashtbl.create 16
+let cache : (Digest.t, compiled) Hashtbl.t = Hashtbl.create 16
 let hits = ref 0
 let misses = ref 0
 

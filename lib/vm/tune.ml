@@ -38,16 +38,18 @@ type choice = {
 (* Fingerprint and cache                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Structural fingerprint of a tuning problem.  [Hashtbl.hash_param] with a
-   deep budget so a changed coefficient or stencil actually changes the
-   hash (the cache-miss-on-changed-model test relies on this). *)
+(* Structural fingerprint of a tuning problem.  Kernel bodies are digested
+   in full via [Marshal] so a changed coefficient or stencil actually
+   changes the hash even deep inside a large expression tree — a
+   [Hashtbl.hash_param] prefix hash collides on e.g. the zoo's
+   coefficient variants (the cache-miss-on-changed-model test relies on
+   distinctness, and Serve shares this cache across jobs). *)
 let fingerprint ?(domains = Pool.default_domains ()) ~dims candidates =
   let kernel_hash (k : Ir.Kernel.t) =
-    Hashtbl.hash
-      ( k.Ir.Kernel.name,
-        k.Ir.Kernel.dim,
-        k.Ir.Kernel.ghost,
-        Hashtbl.hash_param 512 4096 k.Ir.Kernel.body )
+    Digest.string
+      (Marshal.to_string
+         (k.Ir.Kernel.name, k.Ir.Kernel.dim, k.Ir.Kernel.ghost, k.Ir.Kernel.body)
+         [])
   in
   Hashtbl.hash
     ( domains,

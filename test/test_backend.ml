@@ -39,7 +39,11 @@ let test_c_compiles () =
     let g = Lazy.force curv in
     let unit_ =
       Backend.Ccode.translation_unit ~openmp:true
-        [ Ir.Lower.run g.phi_full; Ir.Lower.run g.phi_split.stag; Ir.Lower.run g.projection ]
+        [
+          Ir.Lower.run g.phi_full;
+          Ir.Lower.run g.phi_split.stag;
+          Ir.Lower.run (Option.get g.projection);
+        ]
     in
     with_tmpdir (fun dir ->
         let src = Filename.concat dir "kernels.c" in
@@ -225,11 +229,36 @@ let test_golden_c_mu () =
   Golden.check ~name:"p1_mu_full.c"
     (Backend.Ccode.emit (Ir.Lower.run (Option.get g.mu_full)))
 
+(* Model-zoo snapshots: one φ sweep per family (plus eutectic's μ sweep, the
+   only zoo family with chemical potentials), so a regression anywhere in
+   the combinator frontend, Varder's second-order term or the family rhs
+   dispatch shows up as a C diff. *)
+let zoo_gen = lazy (Pfcore.Genkernels.generate (Pfcore.Params.eutectic ()))
+let pfc_gen = lazy (Pfcore.Genkernels.generate (Pfcore.Params.pfc ()))
+let gs_gen = lazy (Pfcore.Genkernels.generate (Pfcore.Params.gray_scott ()))
+
+let test_golden_c_eutectic () =
+  let g = Lazy.force zoo_gen in
+  Golden.check ~name:"eutectic_phi_full.c" (Backend.Ccode.emit (Ir.Lower.run g.phi_full));
+  Golden.check ~name:"eutectic_mu_full.c"
+    (Backend.Ccode.emit (Ir.Lower.run (Option.get g.mu_full)))
+
+let test_golden_c_pfc () =
+  let g = Lazy.force pfc_gen in
+  Golden.check ~name:"pfc_phi_full.c" (Backend.Ccode.emit (Ir.Lower.run g.phi_full))
+
+let test_golden_c_gray_scott () =
+  let g = Lazy.force gs_gen in
+  Golden.check ~name:"gray_scott_phi_full.c" (Backend.Ccode.emit (Ir.Lower.run g.phi_full))
+
 let suite =
   [
     Alcotest.test_case "generated C compiles (gcc)" `Quick test_c_compiles;
     Alcotest.test_case "golden C: p1 phi sweep" `Quick test_golden_c_phi;
     Alcotest.test_case "golden C: p1 mu sweep" `Quick test_golden_c_mu;
+    Alcotest.test_case "golden C: eutectic phi + mu sweeps" `Quick test_golden_c_eutectic;
+    Alcotest.test_case "golden C: pfc phi sweep" `Quick test_golden_c_pfc;
+    Alcotest.test_case "golden C: gray-scott phi sweep" `Quick test_golden_c_gray_scott;
     Alcotest.test_case "generated AVX512 compiles (gcc)" `Quick test_simd_compiles;
     Alcotest.test_case "generated C == VM (end-to-end)" `Quick test_c_matches_vm;
     Alcotest.test_case "C structure" `Quick test_c_signature_and_structure;

@@ -183,6 +183,40 @@ let prop_derivative_matches_numeric =
 let prop_count_nodes_positive =
   QCheck.Test.make ~name:"count_nodes >= 1" ~count:200 arb_expr (fun e -> count_nodes e >= 1)
 
+(* Regression pins from the zoo bugfix sweep: the derivative of fmin/fmax
+   guards must follow the active branch (a select, not a smooth blend), and
+   nested same-axis Diff atoms must behave as independent symbols under
+   [diff] — the rule Varder's second-order Euler–Lagrange term relies on. *)
+let test_diff_fmin_fmax () =
+  let a = sym "a" and b = sym "b" in
+  let d e = diff e ~wrt:a in
+  let at ~a:av ~b:bv e = Eval.eval (env_of_floats (av, bv, 0., 0.)) e in
+  (* fmin picks a's slope where a <= b, b's slope (0) where b < a *)
+  Alcotest.(check (float 0.)) "fmin, a active" 1. (at ~a:1. ~b:2. (d (fmin_ a b)));
+  Alcotest.(check (float 0.)) "fmin, b active" 0. (at ~a:3. ~b:2. (d (fmin_ a b)));
+  Alcotest.(check (float 0.)) "fmax, b active" 0. (at ~a:1. ~b:2. (d (fmax_ a b)));
+  Alcotest.(check (float 0.)) "fmax, a active" 1. (at ~a:3. ~b:2. (d (fmax_ a b)));
+  (* composite guard: d/da fmax(a², a) switches between 2a and 1 *)
+  Alcotest.(check (float 0.)) "fmax of a^2 vs a, quadratic branch" 6.
+    (at ~a:3. ~b:0. (d (fmax_ (sq a) a)));
+  Alcotest.(check (float 0.)) "fmax of a^2 vs a, linear branch" 1.
+    (at ~a:0.5 ~b:0. (d (fmax_ (sq a) a)))
+
+let test_diff_nested_diff_atom () =
+  let f = Fieldspec.scalar ~dim:2 "f" in
+  let u = field f in
+  let uxx = Diff (Diff (u, 0), 0) in
+  (* the second-derivative atom is an independent symbol: ∂(½ uxx²)/∂uxx =
+     uxx, and it is opaque to ∂/∂u and to the first-derivative atom *)
+  Alcotest.(check bool) "quadratic in the atom" true
+    (equal (diff (mul [ num 0.5; sq uxx ]) ~wrt:uxx) uxx);
+  Alcotest.(check bool) "opaque to d/du" true (equal (diff (sq uxx) ~wrt:u) zero);
+  Alcotest.(check bool) "opaque to d/d(ux)" true
+    (equal (diff (sq uxx) ~wrt:(Diff (u, 0))) zero);
+  (* mixed atoms Diff(Diff(u,0),1) are distinct from Diff(Diff(u,1),0) *)
+  let uxy = Diff (Diff (u, 0), 1) and uyx = Diff (Diff (u, 1), 0) in
+  Alcotest.(check bool) "mixed atoms distinct" true (equal (diff (sq uxy) ~wrt:uyx) zero)
+
 let suite =
   [
     Alcotest.test_case "add normalization" `Quick test_add_normalization;
@@ -195,6 +229,10 @@ let suite =
     Alcotest.test_case "free symbols" `Quick test_free_syms;
     Alcotest.test_case "substitution" `Quick test_subst;
     Alcotest.test_case "pretty printing" `Quick test_pp_roundtrip;
+    Alcotest.test_case "fmin/fmax derivative follows the active branch" `Quick
+      test_diff_fmin_fmax;
+    Alcotest.test_case "nested Diff atoms are independent symbols" `Quick
+      test_diff_nested_diff_atom;
     QCheck_alcotest.to_alcotest prop_expand_preserves;
     QCheck_alcotest.to_alcotest prop_factor_preserves;
     QCheck_alcotest.to_alcotest prop_simplify_preserves;

@@ -114,6 +114,22 @@ let test_extent_and_euler () =
   let ext = Fd.Discretize.extent [ store ] in
   Alcotest.(check (pair int int)) "x extent" (-1, 1) ext.(0)
 
+let test_biharmonic_extent () =
+  (* the PFC variation applies ∇² twice; with the compact same-axis rule
+     each application costs one cell of stencil, so ∇⁴ must stay within the
+     two ghost layers — a wide (2h) first-difference chain would need 4 *)
+  let u = field f2 in
+  let lap = add [ Diff (Diff (u, 0), 0); Diff (Diff (u, 1), 1) ] in
+  let bih = add [ Diff (Diff (lap, 0), 0); Diff (Diff (lap, 1), 1) ] in
+  let e = Fd.Discretize.discretize scheme bih in
+  let store =
+    Fd.Discretize.explicit_euler ~dt:(num 0.1) ~src:(Fieldspec.center f2)
+      ~dst:(Fieldspec.center g2) e
+  in
+  let ext = Fd.Discretize.extent [ store ] in
+  Alcotest.(check (pair int int)) "x extent" (-2, 2) ext.(0);
+  Alcotest.(check (pair int int)) "y extent" (-2, 2) ext.(1)
+
 let suite =
   [
     Alcotest.test_case "central diff exact on linear" `Quick test_central_exact_on_linear;
@@ -125,6 +141,7 @@ let suite =
     Alcotest.test_case "cross derivative at face" `Quick test_cross_derivative_at_face;
     Alcotest.test_case "coordinate shift" `Quick test_shift_coord;
     Alcotest.test_case "no Diff survives" `Quick test_no_diff_left;
+    Alcotest.test_case "biharmonic fits two ghost layers" `Quick test_biharmonic_extent;
     Alcotest.test_case "split flux registry" `Quick test_split_registry;
     Alcotest.test_case "extent and Euler" `Quick test_extent_and_euler;
   ]

@@ -87,6 +87,45 @@ let test_recompile_on_fingerprint_change () =
   ignore (run_avg ~num_domains:1 ~dims:[| 8; 6 |] ());
   Alcotest.(check int) "original program still cached" 3 (snd (Vm.Jit.cache_stats ()))
 
+(* Two kernels whose bodies agree on a long prefix (hundreds of terms, far
+   past any hash traversal budget) and differ only in the canonically-last
+   term.  A prefix hash of the body collides here and the memo table would
+   hand variant B the program compiled for variant A — exactly how the
+   zoo's coefficient variants of the large eutectic kernel bit the
+   oracle-8 battery.  The digest-based fingerprint must keep the variants
+   apart, and each compiled run must match its own interpreter run
+   bitwise. *)
+let deep_variant_kernel ~tail =
+  let prefix =
+    List.init 600 (fun i -> mul [ num (0.001 *. float_of_int (i + 1)); field f2 ])
+  in
+  (* [tail] exceeds every prefix coefficient, so the canonical Add sort
+     keeps the differing term last — beyond a truncated traversal. *)
+  let rhs = add (mul [ num tail; field f2 ] :: prefix) in
+  Ir.Kernel.make ~name:"deep" ~dim:2 [ Field.Assignment.store (Fieldspec.center g2) rhs ]
+
+let run_deep ~backend k =
+  let block = Vm.Engine.make_block ~ghost:1 ~dims:[| 6; 5 |] [ f2; g2 ] in
+  let fbuf = Vm.Engine.buffer block f2 in
+  Vm.Buffer.init fbuf (fun c _ -> float_of_int ((c.(0) * 3) + (c.(1) * 7)));
+  Vm.Buffer.periodic fbuf;
+  Vm.Engine.run_plain ~backend ~params:[] (Vm.Engine.bind k block);
+  block
+
+let test_no_collision_on_deep_variants () =
+  let ka = deep_variant_kernel ~tail:100. and kb = deep_variant_kernel ~tail:200. in
+  let fp k = Vm.Jit.fingerprint ~dims:[| 6; 5 |] ~ghost:1 k (Ir.Lower.run k) in
+  Alcotest.(check bool) "deep variants fingerprint apart" false (fp ka = fp kb);
+  Vm.Jit.clear_cache ();
+  let ja = run_deep ~backend:Vm.Engine.Jit ka in
+  let jb = run_deep ~backend:Vm.Engine.Jit kb in
+  Alcotest.(check int) "each variant compiles its own program" 2
+    (snd (Vm.Jit.cache_stats ()));
+  let ia = run_deep ~backend:Vm.Engine.Interp ka in
+  let ib = run_deep ~backend:Vm.Engine.Interp kb in
+  Alcotest.(check bool) "variant A jit = interp (bitwise)" true (buffers_bits_equal ia ja);
+  Alcotest.(check bool) "variant B jit = interp (bitwise)" true (buffers_bits_equal ib jb)
+
 (* ---- engine edge cases under the compiled backend ---- *)
 
 let test_empty_interior () =
@@ -243,6 +282,8 @@ let suite =
     Alcotest.test_case "jit: compile cache hit/miss counters" `Quick test_cache_counters;
     Alcotest.test_case "jit: recompile on fingerprint change" `Quick
       test_recompile_on_fingerprint_change;
+    Alcotest.test_case "jit: no collision on deep kernel variants" `Quick
+      test_no_collision_on_deep_variants;
     Alcotest.test_case "jit: empty interior is a no-op" `Quick test_empty_interior;
     Alcotest.test_case "jit: tile larger than sweep = interp serial" `Quick
       test_tile_larger_than_sweep;

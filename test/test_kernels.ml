@@ -55,7 +55,7 @@ let test_p1_ssa_and_params () =
   let g = Lazy.force p1 in
   List.iter
     (fun (k : Ir.Kernel.t) -> Field.Assignment.check_ssa k.Ir.Kernel.body)
-    [ g.phi_full; g.phi_split.stag; g.phi_split.main; Option.get g.mu_full; g.projection ];
+    [ g.phi_full; g.phi_split.stag; g.phi_split.main; Option.get g.mu_full; Option.get g.projection ];
   (* frozen parameters: only the time remains a runtime argument *)
   Alcotest.(check (list string)) "phi kernel args" [ "t" ] (Ir.Kernel.parameters g.phi_full)
 

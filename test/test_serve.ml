@@ -218,6 +218,35 @@ let test_scheduler_shares_tune_cache () =
   in
   Alcotest.(check bool) "at least all-but-one job served from the cache" true (served >= 3)
 
+(* ---- memory projection audit ---- *)
+
+let test_projected_bytes_exact () =
+  (* admission control charges [projected_bytes] before any buffer exists;
+     an under-estimate would let the farm overshoot its budget.  Audit the
+     projection against the bytes a real Timestep block allocates, over the
+     zoo families (multi-component phi, mu-less models, and PFC's extra
+     staggered flux slots are the layouts that could drift).  P1/P2 share
+     eutectic's layout path and cost seconds to generate, so they ride the
+     serve soak instead. *)
+  List.iter
+    (fun family ->
+      let spec = { (mk 0) with Workload.family; size = 8 } in
+      let gen = Pfcore.Genkernels.generate (Workload.params_of_family family) in
+      let projected = Workload.projected_bytes ~gen spec in
+      let _, block_dims = Workload.decomposition spec in
+      let sim = Pfcore.Timestep.create ~dims:block_dims gen in
+      let actual =
+        List.fold_left
+          (fun acc ((_ : Symbolic.Fieldspec.t), buf) ->
+            acc + (8 * Array.length buf.Vm.Buffer.data))
+          0
+          sim.Pfcore.Timestep.block.Vm.Engine.buffers
+      in
+      Alcotest.(check int)
+        (Workload.family_label family ^ ": projection = allocation")
+        actual projected)
+    [ Workload.Curv2d; Workload.Eutectic; Workload.Pfc; Workload.GrayScott ]
+
 let suite =
   [
     Alcotest.test_case "queue: priority order, FIFO within a class" `Quick
@@ -238,4 +267,6 @@ let suite =
       test_scheduler_steady_state_zero_alloc;
     Alcotest.test_case "scheduler: jobs share the tune cache" `Quick
       test_scheduler_shares_tune_cache;
+    Alcotest.test_case "workload: projected bytes match real allocation" `Quick
+      test_projected_bytes_exact;
   ]

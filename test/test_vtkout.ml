@@ -47,8 +47,23 @@ let test_vtk_structure () =
       in
       Alcotest.(check int) "one SCALARS block per phase + dominant" 3 scalars)
 
+let test_vtk_golden_eutectic () =
+  (* a small frame of examples/eutectic.ml: same preset, same lamella
+     initializer, same writer — pins the zoo model's VTK output end to end *)
+  let g = Pfcore.Genkernels.generate (Pfcore.Params.eutectic ()) in
+  let sim = Pfcore.Timestep.create ~dims:[| 12; 16 |] g in
+  Pfcore.Simulation.init_lamellae ~height_frac:0.25 ~lamella_width:3 sim;
+  Pfcore.Timestep.run sim ~steps:2;
+  let path = Filename.temp_file "pfgen" ".vtk" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Pfcore.Vtkout.write_phi sim path;
+      Golden.check ~name:"vtk_eutectic_12x16.vtk" (read_file path))
+
 let suite =
   [
     Alcotest.test_case "vtk golden snapshot" `Quick test_vtk_golden;
+    Alcotest.test_case "vtk golden snapshot (eutectic zoo)" `Quick test_vtk_golden_eutectic;
     Alcotest.test_case "vtk structure" `Quick test_vtk_structure;
   ]

@@ -17,13 +17,16 @@
 #             bitwise-equal across executors, cells-touched savings >= 2x
 #   scaling - no gate; produces the labelled weak/strong projections
 #             (BENCH_scaling.json) that CI uploads as an artifact
+#   zoo     - oracle-12 deviation (Varder vs finite-difference functional
+#             derivative) within its documented budget for every zoo
+#             family; records per-family interp/jit ns-per-cell
 #
 # Usage: tools/check_bench.sh [artifact ...]   (defaults to the gated set)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-ARTIFACTS="${*:-pool jit serve overlap reduce scaling}"
+ARTIFACTS="${*:-pool jit serve overlap reduce scaling zoo}"
 
 dune build bench/main.exe
 
